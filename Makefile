@@ -1,0 +1,38 @@
+# Convenience targets for the Riptide reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-fast examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Model-backed artifacts only (seconds instead of minutes).
+bench-fast:
+	$(PYTHON) -m pytest benchmarks/test_fig02_filesizes.py \
+		benchmarks/test_fig03_rtt_cdf.py benchmarks/test_fig04_gain.py \
+		benchmarks/test_fig05_rtts.py benchmarks/test_fig06_model_times.py \
+		benchmarks/test_table2_pops.py --benchmark-only -s
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/prefix_granularity.py
+	$(PYTHON) examples/operations_playbook.py
+	$(PYTHON) examples/parameter_tuning.py
+	$(PYTHON) examples/probe_study.py
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,24 @@
+"""Measurement analysis: empirical CDFs, percentile gains, renderers."""
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.significance import KsComparison, ks_compare, median_shift
+from repro.analysis.stats import (
+    PercentileGain,
+    fraction_below,
+    percentile_gain_profile,
+    summarize,
+)
+from repro.analysis.tables import format_cdf_rows, format_table
+
+__all__ = [
+    "EmpiricalCdf",
+    "KsComparison",
+    "PercentileGain",
+    "format_cdf_rows",
+    "format_table",
+    "fraction_below",
+    "ks_compare",
+    "median_shift",
+    "percentile_gain_profile",
+    "summarize",
+]

@@ -1,0 +1,81 @@
+"""Empirical cumulative distribution functions.
+
+Every figure in the paper's evaluation is a CDF; this class is the single
+representation the experiment harnesses share.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+
+class EmpiricalCdf:
+    """An immutable empirical CDF over float samples."""
+
+    def __init__(self, samples: Iterable[float]) -> None:
+        values = sorted(float(s) for s in samples)
+        if not values:
+            raise ValueError("cannot build a CDF from zero samples")
+        self._values = values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return tuple(self._values)
+
+    @property
+    def min(self) -> float:
+        return self._values[0]
+
+    @property
+    def max(self) -> float:
+        return self._values[-1]
+
+    @property
+    def mean(self) -> float:
+        return sum(self._values) / len(self._values)
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def cdf(self, x: float) -> float:
+        """P(sample <= x)."""
+        return bisect.bisect_right(self._values, x) / len(self._values)
+
+    def quantile(self, p: float) -> float:
+        """The value at CDF level ``p`` (linear interpolation)."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        if p == 0.0:
+            return self._values[0]
+        if p == 1.0:
+            return self._values[-1]
+        position = p * (len(self._values) - 1)
+        low = int(position)
+        frac = position - low
+        if low + 1 >= len(self._values):
+            return self._values[-1]
+        return self._values[low] * (1.0 - frac) + self._values[low + 1] * frac
+
+    def percentiles(self, levels: Iterable[float]) -> list[float]:
+        """Quantiles at several levels given in percent (e.g. 5, 50, 95)."""
+        return [self.quantile(level / 100.0) for level in levels]
+
+    def series(self, points: int = 100) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) pairs for plotting/printing."""
+        if points < 2:
+            raise ValueError(f"need at least 2 points, got {points}")
+        return [
+            (self.quantile(i / (points - 1)), i / (points - 1))
+            for i in range(points)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<EmpiricalCdf n={len(self)} min={self.min:.4g} "
+            f"median={self.median:.4g} max={self.max:.4g}>"
+        )

@@ -1,0 +1,60 @@
+"""CSV export of experiment data.
+
+Each figure harness prints human-readable tables; downstream users who
+want to re-plot with their own tools can dump the underlying series with
+these helpers instead of scraping the text output.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.cdf import EmpiricalCdf
+
+
+def rows_to_csv(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Render rows as CSV text (with header line)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def cdf_to_csv(cdf: EmpiricalCdf, points: int = 200, label: str = "value") -> str:
+    """One CDF as ``(value, cumulative_fraction)`` pairs."""
+    return rows_to_csv(
+        (label, "cumulative_fraction"),
+        [(f"{value:.9g}", f"{fraction:.6f}") for value, fraction in cdf.series(points)],
+    )
+
+
+def cdfs_to_csv(
+    cdfs: Mapping[str, EmpiricalCdf],
+    points: int = 200,
+    label: str = "value",
+) -> str:
+    """Several CDFs in long format: ``series, value, cumulative_fraction``."""
+    if not cdfs:
+        raise ValueError("cdfs_to_csv needs at least one series")
+    rows = []
+    for name, cdf in cdfs.items():
+        for value, fraction in cdf.series(points):
+            rows.append((name, f"{value:.9g}", f"{fraction:.6f}"))
+    return rows_to_csv(("series", label, "cumulative_fraction"), rows)
+
+
+def write_csv(path: str, content: str) -> None:
+    """Write CSV text to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)

@@ -1,0 +1,79 @@
+"""Comparison statistics for paired experiment runs.
+
+:func:`percentile_gain_profile` implements the Figure 15/16 analysis:
+"the changes in performance by percentile ... in 5% steps" — the
+fractional improvement of the treatment run over the baseline run at each
+percentile of their respective completion-time distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.cdf import EmpiricalCdf
+
+
+@dataclass(frozen=True)
+class PercentileGain:
+    """Gain at one percentile of the completion-time distribution."""
+
+    percentile: float
+    baseline: float
+    treatment: float
+
+    @property
+    def gain(self) -> float:
+        """Fractional improvement: 0.3 = 30 % faster than baseline."""
+        if self.baseline == 0:
+            return 0.0
+        return 1.0 - self.treatment / self.baseline
+
+
+def percentile_gain_profile(
+    baseline_samples: Iterable[float],
+    treatment_samples: Iterable[float],
+    step: float = 5.0,
+    lowest: float = 5.0,
+    highest: float = 95.0,
+) -> list[PercentileGain]:
+    """Per-percentile gains of treatment over baseline (Figures 15/16)."""
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    baseline = EmpiricalCdf(baseline_samples)
+    treatment = EmpiricalCdf(treatment_samples)
+    gains = []
+    level = lowest
+    while level <= highest + 1e-9:
+        gains.append(
+            PercentileGain(
+                percentile=level,
+                baseline=baseline.quantile(level / 100.0),
+                treatment=treatment.quantile(level / 100.0),
+            )
+        )
+        level += step
+    return gains
+
+
+def fraction_below(samples: Iterable[float], threshold: float) -> float:
+    """Fraction of samples at or below a threshold."""
+    values = list(samples)
+    if not values:
+        raise ValueError("fraction_below needs at least one sample")
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def summarize(samples: Sequence[float]) -> dict[str, float]:
+    """Small summary used by experiment reports."""
+    cdf = EmpiricalCdf(samples)
+    return {
+        "n": float(len(cdf)),
+        "min": cdf.min,
+        "p25": cdf.quantile(0.25),
+        "median": cdf.median,
+        "p75": cdf.quantile(0.75),
+        "p90": cdf.quantile(0.90),
+        "max": cdf.max,
+        "mean": cdf.mean,
+    }

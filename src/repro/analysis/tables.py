@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment output.
+
+The benchmark harnesses print the same rows/series the paper's figures
+and tables report; these helpers keep that output aligned and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.cdf import EmpiricalCdf
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_cdf_rows(
+    cdfs: dict[str, EmpiricalCdf],
+    levels: Sequence[float] = (10, 25, 50, 75, 90, 95),
+    value_format: str = "{:.3f}",
+    title: str | None = None,
+) -> str:
+    """Render several CDFs side by side at fixed percentile levels."""
+    headers = ["series"] + [f"p{level:g}" for level in levels] + ["n"]
+    rows = []
+    for name, cdf in cdfs.items():
+        cells = [name]
+        cells.extend(value_format.format(v) for v in cdf.percentiles(levels))
+        cells.append(str(len(cdf)))
+        rows.append(cells)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,274 @@
+"""Cluster assembly: topology + fabric + hosts + services + Riptide.
+
+:class:`CdnCluster` turns a :class:`~repro.cdn.topology.Topology` into a
+running deployment: one network zone and trunk mesh, ``server_count``
+hosts per PoP each running a transfer server, a transfer client and
+(optionally) a Riptide agent — the full system the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cdn.filesizes import FileSizeDistribution
+from repro.cdn.monitors import CwndSampler
+from repro.cdn.pop import PoP
+from repro.cdn.probes import ProbeFleet
+from repro.cdn.topology import Topology
+from repro.cdn.transfer import TransferClient, TransferServer
+from repro.cdn.workload import OrganicWorkload, OrganicWorkloadConfig
+from repro.core.agent import RiptideAgent
+from repro.core.config import RiptideConfig
+from repro.linux.host import Host
+from repro.net.addresses import IPv4Address
+from repro.net.loss import BernoulliLoss, LossModel, NoLoss
+from repro.net.network import Network, PathSpec
+from repro.sim.kernel import Simulator
+from repro.sim.rand import RandomStreams
+from repro.tcp.constants import TcpConfig
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Deployment-wide parameters."""
+
+    seed: int = 42
+    #: Trunk bandwidth between PoPs ("well provisioned links").
+    bandwidth_bps: float = 1e9
+    queue_limit_packets: int = 2048
+    #: Light random WAN loss on every trunk.
+    loss_probability: float = 0.0001
+    #: Host TCP configuration.  The deployment raises the default initial
+    #: receive window so it covers Riptide's c_max (Section III-C).
+    tcp: TcpConfig = field(
+        default_factory=lambda: TcpConfig(default_initrwnd=300)
+    )
+    #: Riptide configuration for agents (agents are created per host but
+    #: only start when :meth:`CdnCluster.start_riptide` is called).
+    riptide: RiptideConfig = field(default_factory=RiptideConfig)
+
+
+@dataclass
+class _PopDeployment:
+    pop: PoP
+    hosts: list[Host]
+    servers: list[TransferServer]
+    clients: list[TransferClient]
+    agents: list[RiptideAgent]
+
+
+class CdnCluster:
+    """A running CDN deployment on one simulator."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: ClusterConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config if config is not None else ClusterConfig()
+        self.sim = Simulator()
+        self.streams = RandomStreams(self.config.seed)
+        self.network = Network(self.sim, self.streams)
+        self._pops: dict[str, _PopDeployment] = {}
+        self._workloads: list[OrganicWorkload] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        for pop in self.topology.pops:
+            self.network.add_zone(pop.prefix)
+        for a, b in self.topology.pairs():
+            rtt = self.topology.rtt(a, b)
+            self.network.connect_zones(
+                a.prefix,
+                b.prefix,
+                PathSpec(
+                    bandwidth_bps=self.config.bandwidth_bps,
+                    propagation_delay=rtt / 2.0,
+                    queue_limit_packets=self.config.queue_limit_packets,
+                    loss_model=self._loss_model(),
+                ),
+            )
+        for pop in self.topology.pops:
+            self._deploy_pop(pop)
+
+    def _loss_model(self) -> LossModel:
+        if self.config.loss_probability <= 0.0:
+            return NoLoss()
+        return BernoulliLoss(self.config.loss_probability)
+
+    def _deploy_pop(self, pop: PoP) -> None:
+        hosts, servers, clients, agents = [], [], [], []
+        for index, address in enumerate(pop.server_addresses()):
+            host = Host(
+                self.sim,
+                self.network,
+                address,
+                config=self.config.tcp,
+                name=f"{pop.code}-{index}",
+            )
+            hosts.append(host)
+            servers.append(TransferServer(host))
+            clients.append(TransferClient(host))
+            agents.append(RiptideAgent(host, self.config.riptide))
+        self._pops[pop.code] = _PopDeployment(pop, hosts, servers, clients, agents)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def pop_codes(self) -> list[str]:
+        return list(self._pops)
+
+    def pop(self, code: str) -> PoP:
+        return self._deployment(code).pop
+
+    def hosts(self, code: str) -> list[Host]:
+        return self._deployment(code).hosts
+
+    def all_hosts(self) -> list[Host]:
+        return [host for dep in self._pops.values() for host in dep.hosts]
+
+    def client(self, code: str, index: int = 0) -> TransferClient:
+        return self._deployment(code).clients[index]
+
+    def agents(self, code: str) -> list[RiptideAgent]:
+        return self._deployment(code).agents
+
+    def all_agents(self) -> list[RiptideAgent]:
+        return [agent for dep in self._pops.values() for agent in dep.agents]
+
+    def server_address(self, code: str, index: int = 0) -> IPv4Address:
+        return self._deployment(code).pop.server_addresses()[index]
+
+    def _deployment(self, code: str) -> _PopDeployment:
+        try:
+            return self._pops[code]
+        except KeyError:
+            raise KeyError(f"no PoP {code!r} in this cluster")
+
+    # ------------------------------------------------------------------
+    # Riptide control
+    # ------------------------------------------------------------------
+
+    def start_riptide(self, pop_codes: list[str] | None = None) -> float:
+        """Start agents (all PoPs by default).  Returns the start time —
+        pass it to samplers as ``created_after`` per the paper's method."""
+        started_at = self.sim.now
+        for code in pop_codes if pop_codes is not None else self.pop_codes:
+            for agent in self._deployment(code).agents:
+                agent.start()
+        return started_at
+
+    def stop_riptide(self) -> None:
+        for agent in self.all_agents():
+            if agent.running:
+                agent.stop()
+
+    # ------------------------------------------------------------------
+    # workloads and measurement
+    # ------------------------------------------------------------------
+
+    def add_organic_workload(
+        self,
+        source_pop: str,
+        destination_pops: list[str],
+        workload_config: OrganicWorkloadConfig | None = None,
+        sizes: FileSizeDistribution | None = None,
+        host_index: int = 0,
+    ) -> OrganicWorkload:
+        """Attach (and start) organic traffic from one host of a PoP."""
+        deployment = self._deployment(source_pop)
+        destinations = []
+        for code in destination_pops:
+            if code == source_pop:
+                continue
+            destinations.extend(
+                self._deployment(code).pop.server_addresses()
+            )
+        workload = OrganicWorkload(
+            sim=self.sim,
+            client=deployment.clients[host_index],
+            destinations=destinations,
+            sizes=sizes if sizes is not None else FileSizeDistribution.production_cdn(),
+            rng=self.streams.stream(f"organic:{source_pop}:{host_index}"),
+            config=workload_config,
+            name=f"organic:{source_pop}",
+        )
+        workload.start()
+        self._workloads.append(workload)
+        return workload
+
+    def make_probe_fleet(
+        self,
+        source_pops: list[str],
+        target_pops: list[str] | None = None,
+        interval: float = 10.0,
+        sizes: tuple[int, ...] | None = None,
+        host_indices: list[int] | None = None,
+        close_before_round: bool = False,
+        churn_probability: float = 0.0,
+    ) -> ProbeFleet:
+        """Build the Section IV-A probe infrastructure.
+
+        Sources are the hosts at ``host_indices`` (default: host 0) in
+        each listed PoP; targets default to every PoP in the cluster
+        (one server each).
+        """
+        def rtt_lookup(src_code: str, dst_code: str) -> float:
+            return self.topology.rtt(self.pop(src_code), self.pop(dst_code))
+
+        kwargs = {} if sizes is None else {"sizes": sizes}
+        fleet = ProbeFleet(
+            self.sim,
+            rtt_lookup,
+            interval=interval,
+            close_before_round=close_before_round,
+            churn_probability=churn_probability,
+            rng=self.streams.stream("probe-churn"),
+            **kwargs,
+        )
+        for code in source_pops:
+            deployment = self._deployment(code)
+            for index in host_indices if host_indices is not None else [0]:
+                fleet.add_source(deployment.pop, deployment.clients[index])
+        for code in target_pops if target_pops is not None else self.pop_codes:
+            fleet.add_target(self.pop(code), self.server_address(code))
+        return fleet
+
+    def make_cwnd_sampler(
+        self,
+        interval: float = 60.0,
+        created_after: float | None = None,
+        pop_codes: list[str] | None = None,
+    ) -> CwndSampler:
+        """The Figure 10/11 per-minute window sampler."""
+        hosts = (
+            self.all_hosts()
+            if pop_codes is None
+            else [h for code in pop_codes for h in self.hosts(code)]
+        )
+        return CwndSampler(
+            self.sim, hosts, interval=interval, created_after=created_after
+        )
+
+    def run(self, duration: float) -> float:
+        """Advance the whole deployment by ``duration`` simulated seconds."""
+        return self.sim.run(until=self.sim.now + duration)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CdnCluster pops={len(self._pops)} "
+            f"hosts={sum(len(d.hosts) for d in self._pops.values())} "
+            f"t={self.sim.now:.1f}s>"
+        )
+
+
+def with_riptide_config(config: ClusterConfig, **overrides) -> ClusterConfig:
+    """A copy of ``config`` with fields of its Riptide config replaced."""
+    return replace(config, riptide=replace(config.riptide, **overrides))

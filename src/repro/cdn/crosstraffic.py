@@ -1,0 +1,78 @@
+"""Background cross-traffic: congesting a trunk on demand.
+
+The paper's adaptivity claim — "if the set of connections to a
+destination do demonstrate smaller windows, Riptide will respond
+accordingly, shrinking the initial windows" — needs a way to *make*
+windows shrink.  A :class:`CrossTraffic` source pumps unacknowledged
+filler packets into one link direction at a configurable rate, consuming
+bandwidth and queue space exactly like competing traffic would, so TCP
+flows sharing the trunk see queueing delay and drops.
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import IPv4Address
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+
+#: Wire size of each filler packet (a full-MTU datagram).
+FILLER_PACKET_BYTES = 1500
+
+#: Address pair stamped on filler packets (never routed to a host).
+_FILLER_SRC = IPv4Address("192.0.2.1")
+_FILLER_DST = IPv4Address("192.0.2.2")
+
+
+class CrossTraffic:
+    """A constant-bit-rate packet source aimed at one link direction."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        rate_bps: float,
+        name: str = "cross-traffic",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        self._sim = sim
+        self._link = link
+        self.rate_bps = float(rate_bps)
+        self.name = name
+        self._running = False
+        self.packets_offered = 0
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def interval(self) -> float:
+        """Seconds between filler packets at the configured rate."""
+        return FILLER_PACKET_BYTES * 8.0 / self.rate_bps
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._sim.schedule(self.interval, self._emit)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _emit(self) -> None:
+        if not self._running:
+            return
+        packet = Packet(_FILLER_SRC, _FILLER_DST, FILLER_PACKET_BYTES, payload="filler")
+        self._link.transmit(packet, self._discard)
+        self.packets_offered += 1
+        self._sim.schedule(self.interval, self._emit)
+
+    @staticmethod
+    def _discard(packet: Packet) -> None:
+        """Filler is fire-and-forget; nothing receives it."""
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else "stopped"
+        return f"<CrossTraffic {self.name!r} {self.rate_bps / 1e6:.0f}Mbps {state}>"

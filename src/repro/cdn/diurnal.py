@@ -1,0 +1,101 @@
+"""Time-varying traffic intensity (diurnal profiles).
+
+Real CDN PoPs see strong day/night cycles.  For Riptide this matters
+through the TTL: in a deep traffic valley no connections remain to a
+destination, the learned entries expire, and the first transfers of the
+next peak start from the kernel default again.  A :class:`RateProfile`
+scales a workload's arrival rate over simulated time so experiments can
+reproduce that regime.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+class RateProfile(ABC):
+    """A multiplicative modulation of a base arrival rate over time."""
+
+    @abstractmethod
+    def factor(self, now: float) -> float:
+        """The rate multiplier at simulated time ``now`` (>= 0)."""
+
+    @property
+    @abstractmethod
+    def max_factor(self) -> float:
+        """An upper bound on :meth:`factor` over all time.
+
+        Workloads sample arrivals at ``base_rate * max_factor`` and thin
+        them down to the instantaneous rate (Lewis-Shedler), which is
+        exact for any bounded profile.
+        """
+
+
+@dataclass(frozen=True)
+class ConstantProfile(RateProfile):
+    """No modulation (the default behaviour)."""
+
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"value must be >= 0, got {self.value}")
+
+    def factor(self, now: float) -> float:
+        return self.value
+
+    @property
+    def max_factor(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SinusoidalProfile(RateProfile):
+    """A smooth day/night cycle.
+
+    The factor oscillates between ``floor`` and ``peak`` with the given
+    ``period`` (one simulated "day"), starting at the peak.
+    """
+
+    period: float
+    floor: float = 0.1
+    peak: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if not 0 <= self.floor <= self.peak:
+            raise ValueError("require 0 <= floor <= peak")
+
+    def factor(self, now: float) -> float:
+        phase = math.cos(2.0 * math.pi * now / self.period)
+        midpoint = (self.peak + self.floor) / 2.0
+        amplitude = (self.peak - self.floor) / 2.0
+        return midpoint + amplitude * phase
+
+    @property
+    def max_factor(self) -> float:
+        return self.peak
+
+
+@dataclass(frozen=True)
+class OnOffProfile(RateProfile):
+    """A hard valley: full rate for ``on_duration``, silence for
+    ``off_duration``, repeating.  The sharpest test of TTL expiry."""
+
+    on_duration: float
+    off_duration: float
+
+    def __post_init__(self) -> None:
+        if self.on_duration <= 0 or self.off_duration <= 0:
+            raise ValueError("durations must be positive")
+
+    def factor(self, now: float) -> float:
+        cycle = self.on_duration + self.off_duration
+        return 1.0 if (now % cycle) < self.on_duration else 0.0
+
+    @property
+    def max_factor(self) -> float:
+        return 1.0

@@ -1,0 +1,88 @@
+"""Measurement instrumentation for the evaluation.
+
+The paper's Figure 10/11 methodology: "we sample the sizes of outgoing
+connections each minute using the ss tool.  We further consider only
+connections that were created after Riptide was started."
+:class:`CwndSampler` reproduces that sampler over any set of hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linux.host import Host
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+@dataclass(frozen=True)
+class CwndSample:
+    """One sampled congestion window."""
+
+    time: float
+    host_name: str
+    remote_address: str
+    cwnd: int
+    bytes_acked: int
+
+
+class CwndSampler:
+    """Periodically snapshots congestion windows across hosts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hosts: list[Host],
+        interval: float = 60.0,
+        created_after: float | None = None,
+        data_bearing_only: bool = True,
+    ) -> None:
+        if not hosts:
+            raise ValueError("sampler needs at least one host")
+        self._sim = sim
+        self._hosts = list(hosts)
+        self._created_after = created_after
+        self._data_bearing_only = data_bearing_only
+        self._process = PeriodicProcess(sim, interval, self._sample, name="cwnd-sampler")
+        self.samples: list[CwndSample] = []
+
+    @property
+    def running(self) -> bool:
+        return self._process.running
+
+    def start(self, initial_delay: float | None = None) -> None:
+        self._process.start(initial_delay=initial_delay)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def set_created_after(self, threshold: float) -> None:
+        """Only sample connections created at or after ``threshold``."""
+        self._created_after = threshold
+
+    def cwnd_values(self) -> list[int]:
+        """All sampled window sizes (the Figure 10/11 population)."""
+        return [sample.cwnd for sample in self.samples]
+
+    def _sample(self) -> None:
+        now = self._sim.now
+        for host in self._hosts:
+            infos = host.ss.tcp_info(
+                established_only=True,
+                created_after=self._created_after,
+            )
+            for info in infos:
+                if self._data_bearing_only and info.bytes_acked == 0:
+                    continue
+                self.samples.append(
+                    CwndSample(
+                        time=now,
+                        host_name=host.name,
+                        remote_address=str(info.remote_address),
+                        cwnd=info.cwnd,
+                        bytes_acked=info.bytes_acked,
+                    )
+                )
+
+    def __repr__(self) -> str:
+        return f"<CwndSampler hosts={len(self._hosts)} samples={len(self.samples)}>"

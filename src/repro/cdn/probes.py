@@ -1,0 +1,222 @@
+"""The diagnostic probe infrastructure (Section IV-A).
+
+"Every hour, each machine in each PoP requests a small probe object from
+every other PoP ... We use three versions of probes of sizes 10, 50 and
+100KB, simultaneously."  Probes reuse idle connections when available,
+otherwise open new ones — so they measure exactly the cold-start path
+Riptide accelerates.  Simulated time is compressed (default: one round
+per ``interval`` seconds) without affecting per-transfer timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cdn.pop import PoP
+from repro.cdn.transfer import TransferClient, TransferResult
+from repro.net.addresses import IPv4Address
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicProcess
+
+#: The paper's probe sizes, in bytes.
+PAPER_PROBE_SIZES = (10_000, 50_000, 100_000)
+
+#: The paper's RTT buckets for Figures 12-14 (upper bounds, seconds).
+RTT_BUCKETS = (
+    ("<50ms", 0.050),
+    ("51-100ms", 0.100),
+    ("101-150ms", 0.150),
+    (">150ms", float("inf")),
+)
+
+
+def rtt_bucket(rtt: float) -> str:
+    """The Figure 12-14 bucket label for a path RTT."""
+    for label, upper in RTT_BUCKETS:
+        if rtt <= upper:
+            return label
+    raise AssertionError("unreachable: last bucket is unbounded")
+
+
+@dataclass
+class ProbeResult:
+    """One probe measurement."""
+
+    source_pop: str
+    destination_pop: str
+    size_bytes: int
+    path_rtt: float
+    transfer: TransferResult
+
+    @property
+    def bucket(self) -> str:
+        return rtt_bucket(self.path_rtt)
+
+    @property
+    def completed(self) -> bool:
+        return self.transfer.completed
+
+    @property
+    def total_time(self) -> float:
+        return self.transfer.total_time
+
+    @property
+    def new_connection(self) -> bool:
+        return self.transfer.new_connection
+
+
+@dataclass
+class _ProbeSource:
+    pop: PoP
+    client: TransferClient
+
+
+class ProbeFleet:
+    """Issues probe rounds from a set of source clients to target PoPs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rtt_lookup: Callable[[str, str], float],
+        interval: float = 10.0,
+        sizes: tuple[int, ...] = PAPER_PROBE_SIZES,
+        close_before_round: bool = False,
+        churn_probability: float = 0.0,
+        rng=None,
+    ) -> None:
+        if not sizes:
+            raise ValueError("probe fleet needs at least one probe size")
+        if not 0.0 <= churn_probability <= 1.0:
+            raise ValueError(
+                f"churn_probability must be in [0, 1], got {churn_probability}"
+            )
+        if churn_probability > 0.0 and rng is None:
+            raise ValueError("churn_probability requires an rng")
+        self._sim = sim
+        self._rtt_lookup = rtt_lookup
+        self._sizes = sizes
+        #: Fraction of idle probe connections independently closed before
+        #: each round.  Models the paper's population mix: most probes
+        #: reuse an existing idle connection, the rest open fresh ones —
+        #: the cold-start path Riptide adjusts.
+        self.churn_probability = churn_probability
+        self._rng = rng
+        #: When True, each round first closes the sources' idle pooled
+        #: connections — modelling the paper's hourly cadence, where
+        #: connections rarely survive between rounds, so most probes
+        #: exercise the freshly-opened-connection path Riptide adjusts.
+        self.close_before_round = close_before_round
+        #: When set, idle probe connections are also closed this many
+        #: seconds after each round fires (a server/client idle timeout,
+        #: far shorter than the paper's hourly probe gap).
+        self.idle_close_delay: float | None = None
+        self._sources: list[_ProbeSource] = []
+        self._targets: list[tuple[PoP, IPv4Address]] = []
+        self._process = PeriodicProcess(sim, interval, self._round, name="probes")
+        self.results: list[ProbeResult] = []
+        self.rounds_issued = 0
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        return self._sizes
+
+    def add_source(self, pop: PoP, client: TransferClient) -> None:
+        """Register a probing machine belonging to ``pop``."""
+        self._sources.append(_ProbeSource(pop, client))
+
+    def add_target(self, pop: PoP, address: IPv4Address) -> None:
+        """Register a probe destination.
+
+        The base path RTT used for bucketing (Figures 12-14) is resolved
+        per (source, destination) pair through ``rtt_lookup``; measured
+        times come from the simulation itself.
+        """
+        self._targets.append((pop, address))
+
+    def start(self, initial_delay: float | None = None) -> None:
+        if not self._sources or not self._targets:
+            raise ValueError("probe fleet needs sources and targets before starting")
+        self._process.start(initial_delay=initial_delay)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _round(self) -> None:
+        self.rounds_issued += 1
+        if self.close_before_round:
+            for source in self._sources:
+                source.client.close_idle_connections()
+        elif self.churn_probability > 0.0:
+            for source in self._sources:
+                source.client.close_idle_connections(
+                    probability=self.churn_probability, rng=self._rng
+                )
+        if self.idle_close_delay is not None:
+            self._sim.schedule(self.idle_close_delay, self._close_idle)
+        for source in self._sources:
+            for target_pop, address in self._targets:
+                if target_pop.code == source.pop.code:
+                    continue
+                path_rtt = self._rtt_lookup(source.pop.code, target_pop.code)
+                for size in self._sizes:
+                    self._issue(source, target_pop, address, path_rtt, size)
+
+    def _issue(
+        self,
+        source: _ProbeSource,
+        target_pop: PoP,
+        address: IPv4Address,
+        path_rtt: float,
+        size: int,
+    ) -> None:
+        probe = ProbeResult(
+            source_pop=source.pop.code,
+            destination_pop=target_pop.code,
+            size_bytes=size,
+            path_rtt=path_rtt,
+            transfer=None,  # type: ignore[arg-type] - set immediately below
+        )
+        probe.transfer = source.client.fetch(address, size)
+        self.results.append(probe)
+
+    def _close_idle(self) -> None:
+        for source in self._sources:
+            source.client.close_idle_connections()
+
+    # ------------------------------------------------------------------
+    # analysis accessors
+    # ------------------------------------------------------------------
+
+    def completed_results(
+        self,
+        size_bytes: int | None = None,
+        bucket: str | None = None,
+        source_pop: str | None = None,
+        new_connections_only: bool = False,
+    ) -> list[ProbeResult]:
+        """Completed probes filtered by size / RTT bucket / source."""
+        selected = []
+        for probe in self.results:
+            if not probe.completed:
+                continue
+            if size_bytes is not None and probe.size_bytes != size_bytes:
+                continue
+            if bucket is not None and probe.bucket != bucket:
+                continue
+            if source_pop is not None and probe.source_pop != source_pop:
+                continue
+            if new_connections_only and not probe.new_connection:
+                continue
+            selected.append(probe)
+        return selected
+
+    def completion_times(self, **filters) -> list[float]:
+        """Total transfer times of the matching completed probes."""
+        return [probe.total_time for probe in self.completed_results(**filters)]
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProbeFleet sources={len(self._sources)} targets={len(self._targets)} "
+            f"results={len(self.results)}>"
+        )

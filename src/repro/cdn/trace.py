@@ -1,0 +1,118 @@
+"""Transfer tracing: record what a deployment actually did.
+
+A :class:`TransferTrace` subscribes to one or more transfer clients and
+logs every completed or failed transfer — the raw material for custom
+analyses beyond the built-in figure harnesses, and exportable to CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.export import rows_to_csv
+from repro.cdn.transfer import TransferClient, TransferResult
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One completed (or failed) transfer."""
+
+    transfer_id: int
+    source: str
+    destination: str
+    size_bytes: int
+    started_at: float
+    total_time: float | None
+    new_connection: bool
+    initial_cwnd: int
+    failed_reason: str | None
+
+    @property
+    def completed(self) -> bool:
+        return self.total_time is not None
+
+
+class TransferTrace:
+    """Collects per-transfer records across clients."""
+
+    CSV_HEADERS = (
+        "transfer_id",
+        "source",
+        "destination",
+        "size_bytes",
+        "started_at",
+        "total_time",
+        "new_connection",
+        "initial_cwnd",
+        "failed_reason",
+    )
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def attach(self, client: TransferClient, source_label: str | None = None) -> None:
+        """Wrap a client's ``fetch`` so every transfer is recorded."""
+        label = source_label if source_label is not None else str(client.host.address)
+        original_fetch = client.fetch
+
+        def traced_fetch(destination, size_bytes, on_complete=None):
+            def record(result: TransferResult) -> None:
+                self._record(label, result)
+                if on_complete is not None:
+                    on_complete(result)
+
+            return original_fetch(destination, size_bytes, on_complete=record)
+
+        client.fetch = traced_fetch  # type: ignore[method-assign]
+
+    def _record(self, source: str, result: TransferResult) -> None:
+        self.records.append(
+            TraceRecord(
+                transfer_id=result.transfer_id,
+                source=source,
+                destination=str(result.destination),
+                size_bytes=result.size_bytes,
+                started_at=result.started_at,
+                total_time=result.total_time if result.completed else None,
+                new_connection=result.new_connection,
+                initial_cwnd=result.initial_cwnd,
+                failed_reason=result.failed_reason,
+            )
+        )
+
+    def completed(self) -> list[TraceRecord]:
+        return [r for r in self.records if r.completed]
+
+    def failed(self) -> list[TraceRecord]:
+        return [r for r in self.records if not r.completed]
+
+    def completion_times(self, size_bytes: int | None = None) -> list[float]:
+        return [
+            r.total_time
+            for r in self.completed()
+            if size_bytes is None or r.size_bytes == size_bytes
+        ]
+
+    def to_csv(self) -> str:
+        """All records as CSV text."""
+        rows = [
+            (
+                r.transfer_id,
+                r.source,
+                r.destination,
+                r.size_bytes,
+                f"{r.started_at:.6f}",
+                f"{r.total_time:.6f}" if r.total_time is not None else "",
+                int(r.new_connection),
+                r.initial_cwnd,
+                r.failed_reason or "",
+            )
+            for r in self.records
+        ]
+        return rows_to_csv(self.CSV_HEADERS, rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TransferTrace records={len(self.records)} "
+            f"failed={len(self.failed())}>"
+        )

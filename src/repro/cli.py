@@ -1,0 +1,123 @@
+"""Command-line interface for the reproduction.
+
+::
+
+    python -m repro list                 # all registered experiments
+    python -m repro run fig03            # regenerate one figure/table
+    python -m repro run fig10 --fast     # reduced-scale simulation run
+    python -m repro describe fig12_14    # what an experiment reproduces
+
+``run`` prints the same rows/series the corresponding paper figure or
+table reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import get_experiment, list_experiments
+
+#: Reduced-scale keyword arguments per experiment for ``--fast``.
+_FAST_OVERRIDES: dict[str, dict] = {
+    "fig02": {"samples": 20_000},
+    "fig03": {"samples": 20_000},
+    "fig04": {"points": 100},
+    "fig10": {
+        "c_max_values": (50, 100, 250),
+        "topology_codes": ("LHR", "AMS", "JFK", "NRT", "SYD"),
+        "duration": 20.0,
+        "warmup": 5.0,
+    },
+    "fig11": {"duration": 45.0},
+}
+
+#: Fast mode for the paired-study experiments shrinks the shared config.
+_FAST_STUDY_IDS = ("fig12_14", "fig15_16", "edge_cases")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce figures and tables from the Riptide paper "
+        "(ICDCS 2016).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list all registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", help="e.g. fig03, table2, fig12_14")
+    run_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced-scale run (smaller topology / fewer samples)",
+    )
+
+    describe_parser = subparsers.add_parser(
+        "describe", help="show what an experiment reproduces"
+    )
+    describe_parser.add_argument("experiment_id")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    for exp in list_experiments():
+        kind = "simulation" if exp.simulation_backed else "model"
+        print(f"{exp.experiment_id:<10} [{kind:<10}] {exp.description}")
+    return 0
+
+
+def _cmd_describe(experiment_id: str) -> int:
+    exp = get_experiment(experiment_id)
+    print(f"id:          {exp.experiment_id}")
+    print(f"description: {exp.description}")
+    print(f"backed by:   {'full simulation' if exp.simulation_backed else 'closed-form model'}")
+    doc = sys.modules[exp.run.__module__].__doc__ or ""
+    print(f"\n{doc.strip()}")
+    return 0
+
+
+def _cmd_run(experiment_id: str, fast: bool) -> int:
+    exp = get_experiment(experiment_id)
+    kwargs: dict = {}
+    if fast:
+        if experiment_id in _FAST_STUDY_IDS:
+            from repro.experiments.scenarios import ProbeStudyConfig
+
+            kwargs["config"] = ProbeStudyConfig(
+                topology_codes=("LHR", "AMS", "JFK", "NRT", "SYD"),
+                warmup=10.0,
+                duration=30.0,
+            )
+        else:
+            kwargs = dict(_FAST_OVERRIDES.get(experiment_id, {}))
+    if exp.simulation_backed:
+        print(f"running {experiment_id} (full simulation; this takes a while)...")
+    started = time.perf_counter()
+    result = exp.run(**kwargs)
+    elapsed = time.perf_counter() - started
+    print(result.report())
+    print(f"\n[{experiment_id} completed in {elapsed:.1f}s]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "describe":
+        return _cmd_describe(args.experiment_id)
+    if args.command == "run":
+        try:
+            return _cmd_run(args.experiment_id, args.fast)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    raise AssertionError("unreachable: argparse enforces the command set")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

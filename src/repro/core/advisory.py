@@ -1,0 +1,71 @@
+"""Operational advisories (Section V, "Additional Algorithms").
+
+"If a cloud system were able to provide it with higher level information
+(e.g., the need to perform immediate load balancing), it could be used
+to set more conservative congestion windows to avoid sudden crowding."
+
+An advisory is a time-bounded multiplicative scale applied to every
+window Riptide computes, before clamping.  Overlapping advisories
+compose by taking the most conservative (smallest) active scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Advisory:
+    """One active conservatism window."""
+
+    scale: float
+    until: float
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ValueError(f"advisory scale must be in (0, 1], got {self.scale}")
+
+    def active(self, now: float) -> bool:
+        return now < self.until
+
+
+class AdvisoryController:
+    """Tracks active advisories and produces the current scale."""
+
+    def __init__(self) -> None:
+        self._advisories: list[Advisory] = []
+
+    def advise(
+        self,
+        scale: float,
+        duration: float,
+        now: float,
+        reason: str = "",
+    ) -> Advisory:
+        """Register a conservatism advisory for ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        advisory = Advisory(scale=scale, until=now + duration, reason=reason)
+        self._advisories.append(advisory)
+        return advisory
+
+    def clear(self) -> None:
+        """Drop all advisories immediately."""
+        self._advisories.clear()
+
+    def scale_at(self, now: float) -> float:
+        """The most conservative active scale (1.0 when none active).
+
+        Expired advisories are pruned as a side effect.
+        """
+        self._advisories = [a for a in self._advisories if a.active(now)]
+        if not self._advisories:
+            return 1.0
+        return min(a.scale for a in self._advisories)
+
+    def active_advisories(self, now: float) -> list[Advisory]:
+        return [a for a in self._advisories if a.active(now)]
+
+    def __repr__(self) -> str:
+        return f"<AdvisoryController advisories={len(self._advisories)}>"

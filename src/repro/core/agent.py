@@ -1,0 +1,222 @@
+"""The Riptide agent (Algorithm 1).
+
+One agent runs per host, exactly as the paper's single Python script runs
+per server:
+
+.. code-block:: text
+
+    while Running do
+        observed table   <- current CWND for all connections      (ss)
+        grouped windows  <- observed table grouped by destination
+        for group in grouped windows do
+            average <- average of all current windows             (combiner)
+            final   <- moving average with history                (history)
+            Init_CWND to destination <- final                     (ip route)
+        wait for i_u seconds
+
+plus the TTL sweep: entries that go unrefreshed for ``t`` seconds lose
+their route, restoring the kernel default of 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.advisory import Advisory, AdvisoryController
+from repro.core.combiners import Observation, make_combiner
+from repro.core.config import RiptideConfig
+from repro.core.granularity import DestinationGrouper
+from repro.core.history import make_history_policy
+from repro.core.observed import LearnedTable
+from repro.core.trend import TrendDetector
+from repro.linux.host import Host
+from repro.net.addresses import Prefix
+from repro.sim.process import PeriodicProcess
+
+
+@dataclass
+class AgentStats:
+    """Operational counters for one agent."""
+
+    polls: int = 0
+    connections_observed: int = 0
+    routes_installed: int = 0
+    routes_expired: int = 0
+    window_history: list[tuple[float, int]] = field(default_factory=list)
+
+
+class RiptideAgent:
+    """One host's Riptide process."""
+
+    def __init__(
+        self,
+        host: Host,
+        config: RiptideConfig | None = None,
+        record_window_history: bool = False,
+    ) -> None:
+        self.host = host
+        self.config = config if config is not None else RiptideConfig()
+        self._combiner = make_combiner(self.config.combiner)
+        self._history = make_history_policy(
+            self.config.history, self.config.alpha, self.config.history_window
+        )
+        self._grouper = DestinationGrouper(
+            self.config.granularity, self.config.prefix_length
+        )
+        self._learned = LearnedTable(self.config.ttl)
+        self._advisories = AdvisoryController()
+        self._trend: TrendDetector | None = None
+        if self.config.trend_detection:
+            self._trend = TrendDetector(
+                drop_threshold=self.config.trend_drop_threshold,
+                penalty=self.config.trend_penalty,
+                hold=self.config.trend_hold,
+            )
+        self._process = PeriodicProcess(
+            host.sim, self.config.update_interval, self._tick, name="riptide"
+        )
+        self._record_window_history = record_window_history
+        self.stats = AgentStats()
+        self.started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._process.running
+
+    def start(self, initial_delay: float | None = None) -> None:
+        """Begin the poll loop."""
+        if self.started_at is None:
+            self.started_at = self.host.sim.now
+        self._process.start(initial_delay=initial_delay)
+
+    def stop(self, remove_routes: bool = True) -> None:
+        """Stop polling; optionally withdraw all installed routes."""
+        self._process.stop()
+        if remove_routes:
+            for entry in self._learned.entries():
+                self._withdraw(entry.destination)
+            for destination in list(self._history.tracked_keys()):
+                self._history.forget(destination)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def learned_table(self) -> LearnedTable:
+        return self._learned
+
+    def learned_window_for(self, destination: Prefix) -> int | None:
+        entry = self._learned.get(destination)
+        return entry.window if entry is not None else None
+
+    @property
+    def trend_detector(self) -> TrendDetector | None:
+        return self._trend
+
+    # ------------------------------------------------------------------
+    # operational advisories (Section V)
+    # ------------------------------------------------------------------
+
+    def advise_conservative(
+        self, scale: float, duration: float, reason: str = ""
+    ) -> Advisory:
+        """Scale all computed windows by ``scale`` for ``duration`` seconds.
+
+        The hook the paper proposes for higher-level signals such as an
+        imminent load-balancing shift: new connections enter the network
+        more cautiously while the advisory holds.
+        """
+        return self._advisories.advise(
+            scale, duration, now=self.host.sim.now, reason=reason
+        )
+
+    def clear_advisories(self) -> None:
+        self._advisories.clear()
+
+    def current_advisory_scale(self) -> float:
+        return self._advisories.scale_at(self.host.sim.now)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        now = self.host.sim.now
+        self.stats.polls += 1
+        advisory_scale = self._advisories.scale_at(now)
+        grouped = self._observe_and_group()
+        for destination, observations in grouped.items():
+            candidate = self._combiner.combine(observations)
+            final = self._history.update(destination, candidate)
+            if self._trend is not None:
+                final *= self._trend.observe(destination, candidate, now)
+            window = self.config.clamp(final)
+            if advisory_scale < 1.0:
+                # Advisories scale the *installed* window so an operator
+                # halving windows actually halves them even when the raw
+                # value sits above c_max.
+                window = max(self.config.c_min, round(window * advisory_scale))
+            self._install(destination, window, now)
+        self._expire(now)
+
+    def _observe_and_group(self) -> dict[Prefix, list[Observation]]:
+        """Poll ``ss`` and group current windows by destination key."""
+        snapshots = self.host.ss.tcp_info(
+            established_only=True,
+            outgoing_only=self.config.outgoing_only,
+        )
+        grouped: dict[Prefix, list[Observation]] = {}
+        for info in snapshots:
+            key = self._grouper.key_for(info.remote_address)
+            grouped.setdefault(key, []).append(
+                Observation(cwnd=info.cwnd, bytes_acked=info.bytes_acked)
+            )
+            self.stats.connections_observed += 1
+        return grouped
+
+    def _install(self, destination: Prefix, window: int, now: float) -> None:
+        previous = self._learned.get(destination)
+        self._learned.record(destination, window, now)
+        if previous is None or previous.window != window:
+            self._apply_window(destination, window)
+            self.stats.routes_installed += 1
+        if self._record_window_history:
+            self.stats.window_history.append((now, window))
+
+    def _apply_window(self, destination: Prefix, window: int) -> None:
+        """Make ``window`` effective for new connections to ``destination``.
+
+        The user-space implementation (this class) programs a route, the
+        mechanism the paper deploys; :class:`~repro.core.kernel_mode.
+        KernelModeAgent` overrides this with an in-kernel hook.
+        """
+        initrwnd = self.config.c_max if self.config.set_initrwnd else None
+        self.host.ip.route_replace(destination, initcwnd=window, initrwnd=initrwnd)
+
+    def _expire(self, now: float) -> None:
+        for entry in self._learned.pop_expired(now):
+            self._withdraw(entry.destination)
+            self._history.forget(entry.destination)
+            if self._trend is not None:
+                self._trend.forget(entry.destination)
+            self.stats.routes_expired += 1
+
+    def _withdraw(self, destination: Prefix) -> None:
+        """Remove the effect of :meth:`_apply_window` (TTL expiry)."""
+        try:
+            self.host.ip.route_del(destination)
+        except KeyError:
+            # The route was removed out from under us (e.g. an operator
+            # cleaned the table); nothing left to withdraw.
+            pass
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return (
+            f"<RiptideAgent host={self.host.address} {state} "
+            f"learned={len(self._learned)}>"
+        )

@@ -1,0 +1,117 @@
+"""Riptide's tunable parameters (the paper's Table I).
+
+| Parameter | Use                                      | Paper value   |
+|-----------|------------------------------------------|---------------|
+| alpha     | Weight applied to historical data        | (tunable)     |
+| i_u       | Update interval to poll current windows  | 1 second      |
+| t         | Time-to-live of a stored window          | 90 seconds    |
+| c_max     | Maximum allowed window                   | 100 (chosen)  |
+| c_min     | Minimum allowed window                   | 10 (default)  |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+VALID_COMBINERS = ("average", "max", "traffic_weighted")
+VALID_HISTORY = ("ewma", "windowed", "none")
+VALID_GRANULARITY = ("host", "prefix")
+
+
+@dataclass(frozen=True)
+class RiptideConfig:
+    """Parameters controlling one Riptide agent."""
+
+    #: Weight applied to the historical value in the EWMA (Table I alpha).
+    alpha: float = 0.7
+    #: Seconds between ``ss`` polls (Table I i_u; 1 s in the evaluation).
+    update_interval: float = 1.0
+    #: Seconds before an unrefreshed entry expires (Table I t; 90 s).
+    ttl: float = 90.0
+    #: Window clamp (Table I c_max; the evaluation selects 100).
+    c_max: int = 100
+    #: Window clamp (Table I c_min; the Linux default of 10).
+    c_min: int = 10
+    #: How simultaneous observations to one destination are combined.
+    combiner: str = "average"
+    #: How new values fold into per-destination history.
+    history: str = "ewma"
+    #: Window size for the "windowed" history policy.
+    history_window: int = 10
+    #: Route granularity: per-host /32 routes or broader prefixes.
+    granularity: str = "host"
+    #: Prefix length used when granularity is "prefix".
+    prefix_length: int = 16
+    #: Also set initrwnd on installed routes (Section III-C suggests the
+    #: receive window must cover c_max; deployments may do this once,
+    #: host-wide, instead).
+    set_initrwnd: bool = False
+    #: Only learn from outgoing (client) connections when True; the paper
+    #: observes all open connections.
+    outgoing_only: bool = False
+    #: Section V extension: when a destination's combined window collapses
+    #: suddenly, penalise its initial window beyond what the smoothing
+    #: would do ("aggressively decrease the initial windows").
+    trend_detection: bool = False
+    #: Fractional single-tick drop that counts as a collapse.
+    trend_drop_threshold: float = 0.5
+    #: Multiplier applied to the final window while the penalty holds.
+    trend_penalty: float = 0.5
+    #: Seconds the penalty stays in force after a trigger.
+    trend_hold: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {self.alpha}")
+        if self.update_interval <= 0:
+            raise ValueError(
+                f"update_interval must be positive, got {self.update_interval}"
+            )
+        if self.ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {self.ttl}")
+        if self.c_min < 1:
+            raise ValueError(f"c_min must be >= 1, got {self.c_min}")
+        if self.c_max < self.c_min:
+            raise ValueError(
+                f"c_max ({self.c_max}) must be >= c_min ({self.c_min})"
+            )
+        if self.combiner not in VALID_COMBINERS:
+            raise ValueError(
+                f"unknown combiner {self.combiner!r}; expected one of "
+                f"{', '.join(VALID_COMBINERS)}"
+            )
+        if self.history not in VALID_HISTORY:
+            raise ValueError(
+                f"unknown history policy {self.history!r}; expected one of "
+                f"{', '.join(VALID_HISTORY)}"
+            )
+        if self.history_window < 1:
+            raise ValueError(
+                f"history_window must be >= 1, got {self.history_window}"
+            )
+        if self.granularity not in VALID_GRANULARITY:
+            raise ValueError(
+                f"unknown granularity {self.granularity!r}; expected one of "
+                f"{', '.join(VALID_GRANULARITY)}"
+            )
+        if not 0 <= self.prefix_length <= 32:
+            raise ValueError(
+                f"prefix_length out of range: {self.prefix_length}"
+            )
+        if not 0.0 < self.trend_drop_threshold < 1.0:
+            raise ValueError(
+                f"trend_drop_threshold must be in (0, 1), got "
+                f"{self.trend_drop_threshold}"
+            )
+        if not 0.0 < self.trend_penalty <= 1.0:
+            raise ValueError(
+                f"trend_penalty must be in (0, 1], got {self.trend_penalty}"
+            )
+        if self.trend_hold <= 0:
+            raise ValueError(
+                f"trend_hold must be positive, got {self.trend_hold}"
+            )
+
+    def clamp(self, window: float) -> int:
+        """Bound a computed window to ``[c_min, c_max]`` (Algorithm 1)."""
+        return int(round(min(max(window, float(self.c_min)), float(self.c_max))))

@@ -1,0 +1,36 @@
+"""Destination grouping (Section III-B, "Destinations as Routes").
+
+Riptide may treat each remote *host* as a destination (installing ``/32``
+routes) or aggregate whole *prefixes* — "connections between machines in
+each datacenter are subject to similar constraints", so one route per
+remote PoP prefix costs fewer routes and pools more observations.
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import IPv4Address, Prefix
+
+
+class DestinationGrouper:
+    """Maps remote addresses to route-table destination prefixes."""
+
+    def __init__(self, granularity: str = "host", prefix_length: int = 16) -> None:
+        if granularity not in ("host", "prefix"):
+            raise ValueError(
+                f"granularity must be 'host' or 'prefix', got {granularity!r}"
+            )
+        if not 0 <= prefix_length <= 32:
+            raise ValueError(f"prefix_length out of range: {prefix_length}")
+        self.granularity = granularity
+        self.prefix_length = prefix_length
+
+    def key_for(self, remote: IPv4Address) -> Prefix:
+        """The destination prefix a connection to ``remote`` belongs to."""
+        if self.granularity == "host":
+            return Prefix.host(remote)
+        return Prefix.containing(remote, self.prefix_length)
+
+    def __repr__(self) -> str:
+        if self.granularity == "host":
+            return "<DestinationGrouper /32 host routes>"
+        return f"<DestinationGrouper /{self.prefix_length} prefix routes>"

@@ -1,0 +1,67 @@
+"""Trend detection (Section V, "Additional Algorithms").
+
+"A significant decrease in congestion window over a short time may
+indicate the need to aggressively decrease the initial windows, beyond
+what is happening to existing connections."
+
+The detector compares each tick's freshly combined value against the
+previous one per destination.  A drop steeper than ``drop_threshold``
+triggers a penalty: for the next ``hold`` seconds the destination's
+final window is additionally multiplied by ``penalty`` — shrinking the
+initial window *faster* than the EWMA alone would.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class TrendDetector:
+    """Per-destination sudden-collapse detection."""
+
+    def __init__(
+        self,
+        drop_threshold: float = 0.5,
+        penalty: float = 0.5,
+        hold: float = 10.0,
+    ) -> None:
+        if not 0.0 < drop_threshold < 1.0:
+            raise ValueError(
+                f"drop_threshold must be in (0, 1), got {drop_threshold}"
+            )
+        if not 0.0 < penalty <= 1.0:
+            raise ValueError(f"penalty must be in (0, 1], got {penalty}")
+        if hold <= 0:
+            raise ValueError(f"hold must be positive, got {hold}")
+        self.drop_threshold = drop_threshold
+        self.penalty = penalty
+        self.hold = hold
+        self._previous: dict[Hashable, float] = {}
+        self._held_until: dict[Hashable, float] = {}
+        self.triggers = 0
+
+    def observe(self, key: Hashable, candidate: float, now: float) -> float:
+        """Record this tick's combined value; return the multiplier to
+        apply to the destination's final window (1.0 or ``penalty``)."""
+        previous = self._previous.get(key)
+        self._previous[key] = candidate
+        if previous is not None and candidate < previous * (1.0 - self.drop_threshold):
+            self._held_until[key] = now + self.hold
+            self.triggers += 1
+        if self._held_until.get(key, 0.0) > now:
+            return self.penalty
+        self._held_until.pop(key, None)
+        return 1.0
+
+    def in_penalty(self, key: Hashable, now: float) -> bool:
+        return self._held_until.get(key, 0.0) > now
+
+    def forget(self, key: Hashable) -> None:
+        self._previous.pop(key, None)
+        self._held_until.pop(key, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TrendDetector drop>{self.drop_threshold:.0%} "
+            f"penalty={self.penalty} triggers={self.triggers}>"
+        )

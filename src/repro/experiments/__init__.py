@@ -1,0 +1,11 @@
+"""Experiment harnesses: one per data-bearing figure/table in the paper.
+
+Every module exposes ``run(...)`` returning a result object with a
+``report()`` method that prints the same rows/series the paper reports.
+``repro.experiments.registry`` maps experiment ids (``fig02`` ... ``fig16``,
+``table2``, ``edge_cases``) to their runners.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]

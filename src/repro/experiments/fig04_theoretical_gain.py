@@ -1,0 +1,68 @@
+"""Figure 4: theoretical RTT reduction vs file size for larger initcwnds.
+
+Paper anchor: "the primary improvements are seen between 15KB and 1000KB,
+after which the benefits of reducing a single RTT diminish."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.model.gain import gain_fraction
+
+PAPER_INITCWNDS = (25, 50, 100)
+
+
+@dataclass
+class Fig04Result:
+    """Gain curves over a logarithmic size sweep."""
+
+    sizes_bytes: list[int]
+    #: initcwnd -> gain fraction at each size
+    gains: dict[int, list[float]]
+
+    def peak_gain(self, initcwnd: int) -> float:
+        return max(self.gains[initcwnd])
+
+    def gain_at(self, initcwnd: int, size_bytes: int) -> float:
+        """Gain at the sweep point closest to ``size_bytes``."""
+        index = min(
+            range(len(self.sizes_bytes)),
+            key=lambda i: abs(self.sizes_bytes[i] - size_bytes),
+        )
+        return self.gains[initcwnd][index]
+
+    def report(self) -> str:
+        marks = (10_000, 15_000, 50_000, 100_000, 500_000, 1_000_000, 10_000_000)
+        headers = ["size"] + [f"IW{iw}" for iw in sorted(self.gains)]
+        rows = []
+        for mark in marks:
+            row = [f"{mark // 1000} KB"]
+            for iw in sorted(self.gains):
+                row.append(f"{self.gain_at(iw, mark):.0%}")
+            rows.append(row)
+        return format_table(
+            headers,
+            rows,
+            title="Figure 4: theoretical RTT reduction vs IW10 baseline",
+        )
+
+
+def run(
+    min_bytes: int = 1_000,
+    max_bytes: int = 50_000_000,
+    points: int = 400,
+    initcwnds: tuple[int, ...] = PAPER_INITCWNDS,
+) -> Fig04Result:
+    if points < 2:
+        raise ValueError(f"need at least 2 sweep points, got {points}")
+    ratio = math.log(max_bytes / min_bytes)
+    sizes = [
+        int(min_bytes * math.exp(ratio * i / (points - 1))) for i in range(points)
+    ]
+    gains = {
+        iw: [gain_fraction(size, iw) for size in sizes] for iw in initcwnds
+    }
+    return Fig04Result(sizes_bytes=sizes, gains=gains)

@@ -1,0 +1,70 @@
+"""Multi-seed stability analysis.
+
+The paper reports single production runs; a simulation can do better by
+repeating an experiment across seeds and reporting the spread.  Used by
+the robustness tests to check that the headline effects are not
+artifacts of one random draw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class SeedSweepResult:
+    """Per-seed metric values with summary statistics."""
+
+    metric_name: str
+    seeds: tuple[int, ...]
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1)
+        )
+
+    @property
+    def min(self) -> float:
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    def all_within(self, low: float, high: float) -> bool:
+        """True when every seed's value falls in ``[low, high]``."""
+        return all(low <= v <= high for v in self.values)
+
+    def report(self) -> str:
+        per_seed = ", ".join(
+            f"seed {s}: {v:.4g}" for s, v in zip(self.seeds, self.values)
+        )
+        return (
+            f"{self.metric_name}: mean={self.mean:.4g} stdev={self.stdev:.4g} "
+            f"range=[{self.min:.4g}, {self.max:.4g}] ({per_seed})"
+        )
+
+
+def sweep_seeds(
+    metric_name: str,
+    seeds: Sequence[int],
+    run_metric: Callable[[int], float],
+) -> SeedSweepResult:
+    """Evaluate ``run_metric(seed)`` for each seed."""
+    if not seeds:
+        raise ValueError("sweep_seeds needs at least one seed")
+    values = tuple(float(run_metric(seed)) for seed in seeds)
+    return SeedSweepResult(
+        metric_name=metric_name, seeds=tuple(seeds), values=values
+    )

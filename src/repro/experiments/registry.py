@@ -1,0 +1,129 @@
+"""The experiment registry: id -> (description, runner)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    edge_cases,
+    ext_advisory,
+    ext_diurnal,
+    fig02_filesizes,
+    fig03_rtt_cdf,
+    fig04_theoretical_gain,
+    fig05_rtt_distribution,
+    fig06_transfer_time_model,
+    fig10_cmax_sweep,
+    fig11_traffic_profiles,
+    fig12_14_probe_times,
+    fig15_16_percentile_gain,
+    table2_pops,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered reproduction experiment."""
+
+    experiment_id: str
+    description: str
+    run: Callable
+    simulation_backed: bool
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.experiment_id: exp
+    for exp in (
+        Experiment(
+            "fig02",
+            "Production CDN file-size distribution (54% exceed IW10)",
+            fig02_filesizes.run,
+            simulation_backed=False,
+        ),
+        Experiment(
+            "fig03",
+            "RTTs to complete transfers under IW 10/25/50/100",
+            fig03_rtt_cdf.run,
+            simulation_backed=False,
+        ),
+        Experiment(
+            "fig04",
+            "Theoretical RTT reduction vs file size for IW 25/50/100",
+            fig04_theoretical_gain.run,
+            simulation_backed=False,
+        ),
+        Experiment(
+            "fig05",
+            "Inter-PoP RTT distribution (median > 125 ms)",
+            fig05_rtt_distribution.run,
+            simulation_backed=False,
+        ),
+        Experiment(
+            "fig06",
+            "Modelled 100 KB transfer time over the RTT distribution",
+            fig06_transfer_time_model.run,
+            simulation_backed=False,
+        ),
+        Experiment(
+            "table2",
+            "PoP census per continent",
+            table2_pops.run,
+            simulation_backed=False,
+        ),
+        Experiment(
+            "fig10",
+            "Live congestion windows for c_max in {50..250} + control",
+            fig10_cmax_sweep.run,
+            simulation_backed=True,
+        ),
+        Experiment(
+            "fig11",
+            "Probe-only vs organic-traffic PoP window profiles",
+            fig11_traffic_profiles.run,
+            simulation_backed=True,
+        ),
+        Experiment(
+            "fig12_14",
+            "Probe completion-time CDFs by size and RTT bucket",
+            fig12_14_probe_times.run,
+            simulation_backed=True,
+        ),
+        Experiment(
+            "fig15_16",
+            "Fraction of gain by percentile for 50/100 KB probes",
+            fig15_16_percentile_gain.run,
+            simulation_backed=True,
+        ),
+        Experiment(
+            "edge_cases",
+            "Best/worst-case probe times per destination (Section IV-D)",
+            edge_cases.run,
+            simulation_backed=True,
+        ),
+        Experiment(
+            "ext_diurnal",
+            "Extension: TTL relearning penalty across traffic valleys",
+            ext_diurnal.run,
+            simulation_backed=True,
+        ),
+        Experiment(
+            "ext_advisory",
+            "Extension: conservatism advisories during a load shift",
+            ext_advisory.run,
+            simulation_backed=True,
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r} (known: {known})")
+
+
+def list_experiments() -> list[Experiment]:
+    return list(EXPERIMENTS.values())

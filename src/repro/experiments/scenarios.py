@@ -1,0 +1,151 @@
+"""Shared scenario builders for the simulation-backed experiments.
+
+The paper evaluates on the production 34-PoP CDN over 12-20 hours.  The
+simulated counterpart compresses wall-clock (probes every few seconds
+instead of hourly, minutes of simulated time instead of hours) and, for
+affordable runs, uses a representative sub-topology spanning all RTT
+buckets.  Per-transfer timings are unaffected by the compression; only
+the number of samples shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cdn.cluster import CdnCluster, ClusterConfig
+from repro.cdn.probes import ProbeFleet
+from repro.cdn.topology import Topology, build_paper_topology
+from repro.cdn.workload import OrganicWorkloadConfig
+from repro.core.config import RiptideConfig
+from repro.tcp.constants import TcpConfig
+
+#: The two vantage PoPs of Section IV-B: one European, one North American.
+EU_SOURCE = "LHR"
+NA_SOURCE = "JFK"
+
+#: A sub-topology that spans every Figure 12-14 RTT bucket from both
+#: vantage points: metro-close (AMS/IAD), mid (ARN/ORD/DFW), far
+#: (JFK<->LHR), very far (NRT, SYD, GRU).
+EVALUATION_POP_CODES = (
+    "LHR",
+    "AMS",
+    "ARN",
+    "MAD",
+    "JFK",
+    "IAD",
+    "ORD",
+    "DFW",
+    "NRT",
+    "SYD",
+    "GRU",
+)
+
+
+def sub_topology(codes: tuple[str, ...] = EVALUATION_POP_CODES) -> Topology:
+    """The paper topology restricted to a set of PoP codes."""
+    full = build_paper_topology()
+    wanted = set(codes)
+    missing = wanted - {pop.code for pop in full.pops}
+    if missing:
+        raise KeyError(f"unknown PoP codes: {sorted(missing)}")
+    return Topology(
+        pops=tuple(pop for pop in full.pops if pop.code in wanted),
+        path_inflation=full.path_inflation,
+    )
+
+
+@dataclass(frozen=True)
+class ProbeStudyConfig:
+    """Knobs for a paired (control vs Riptide) probe study."""
+
+    topology_codes: tuple[str, ...] = EVALUATION_POP_CODES
+    source_pops: tuple[str, ...] = (EU_SOURCE, NA_SOURCE)
+    seed: int = 42
+    #: Simulated seconds of organic traffic before probing starts.
+    warmup: float = 20.0
+    #: Simulated seconds of probing.
+    duration: float = 60.0
+    #: Seconds between probe rounds (the paper's "hourly", compressed).
+    probe_interval: float = 6.0
+    #: Organic traffic rate per source host (fetches/second).
+    organic_rate: float = 3.0
+    #: Probability a connection closes after a fetch (churn).
+    close_probability: float = 0.35
+    #: Fraction of idle probe connections closed before each probe round.
+    #: Reproduces the paper's probe population: most probes reuse an
+    #: existing connection (unchanged by Riptide), the rest open cold.
+    probe_churn: float = 0.4
+    #: The evaluation uses prefix granularity — one learned route per
+    #: remote PoP /16 — so organic traffic between any pair of machines
+    #: teaches the initcwnd used for probe responses to that PoP
+    #: (Section III-B, "Destinations as Routes").
+    riptide: RiptideConfig = field(
+        default_factory=lambda: RiptideConfig(granularity="prefix", prefix_length=16)
+    )
+    #: The evaluation hosts disable slow-start-after-idle (a common CDN
+    #: tuning), so a *reused* connection keeps its grown window: reused
+    #: probes are the unchanged bulk of the CDFs, cold probes the part
+    #: Riptide improves — the Figure 12-14 population structure.
+    cluster: ClusterConfig = field(
+        default_factory=lambda: ClusterConfig(
+            tcp=TcpConfig(default_initrwnd=300, slow_start_after_idle=False)
+        )
+    )
+
+
+@dataclass
+class ProbeStudyRun:
+    """One arm (control or Riptide) of a probe study."""
+
+    cluster: CdnCluster
+    fleet: ProbeFleet
+    riptide_enabled: bool
+
+
+def run_probe_arm(config: ProbeStudyConfig, riptide_enabled: bool) -> ProbeStudyRun:
+    """Build and run one arm of the paired study.
+
+    Both arms share the seed, topology, workload schedule and probe
+    schedule; the only difference is whether Riptide agents run.
+    """
+    topology = sub_topology(config.topology_codes)
+    cluster_config = replace(
+        config.cluster, seed=config.seed, riptide=config.riptide
+    )
+    cluster = CdnCluster(topology, cluster_config)
+    workload_config = OrganicWorkloadConfig(
+        rate_per_second=config.organic_rate,
+        close_probability=config.close_probability,
+    )
+    codes = cluster.pop_codes
+    for code in codes:
+        cluster.add_organic_workload(
+            code, [c for c in codes if c != code], workload_config
+        )
+    if riptide_enabled:
+        cluster.start_riptide()
+    cluster.run(config.warmup)
+    # Probes run from a dedicated machine (host 1) in each source PoP,
+    # mirroring the paper's diagnostic fleet riding alongside organic
+    # traffic.  A fraction of idle probe connections churns away before
+    # each round, so the probe population mixes warm reuse with the
+    # fresh connections Riptide jump-starts.
+    fleet = cluster.make_probe_fleet(
+        list(config.source_pops),
+        interval=config.probe_interval,
+        host_indices=[1],
+        churn_probability=config.probe_churn,
+    )
+    fleet.start(initial_delay=0.0)
+    cluster.run(config.duration)
+    return ProbeStudyRun(cluster=cluster, fleet=fleet, riptide_enabled=riptide_enabled)
+
+
+def run_paired_probe_study(
+    config: ProbeStudyConfig | None = None,
+) -> tuple[ProbeStudyRun, ProbeStudyRun]:
+    """Run control and Riptide arms; returns ``(control, riptide)``."""
+    config = config if config is not None else ProbeStudyConfig()
+    control = run_probe_arm(config, riptide_enabled=False)
+    riptide = run_probe_arm(config, riptide_enabled=True)
+    return control, riptide

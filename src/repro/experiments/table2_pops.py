@@ -1,0 +1,46 @@
+"""Table II: CDN PoPs with Riptide deployed, per continent."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.cdn.topology import Topology, build_paper_topology
+
+PAPER_TABLE2 = {
+    "Europe": 10,
+    "North America": 11,
+    "South America": 1,
+    "Asia": 9,
+    "Oceania": 3,
+}
+
+
+@dataclass
+class Table2Result:
+    counts: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.counts == PAPER_TABLE2
+
+    def report(self) -> str:
+        rows = [
+            (continent, str(count), str(PAPER_TABLE2.get(continent, 0)))
+            for continent, count in sorted(self.counts.items())
+        ]
+        rows.append(("TOTAL", str(self.total), str(sum(PAPER_TABLE2.values()))))
+        return format_table(
+            ("continent", "built", "paper"),
+            rows,
+            title="Table II: PoPs per continent",
+        )
+
+
+def run(topology: Topology | None = None) -> Table2Result:
+    topology = topology if topology is not None else build_paper_topology()
+    return Table2Result(counts=topology.continent_counts())

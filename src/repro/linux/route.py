@@ -1,0 +1,106 @@
+"""The host route table (FIB) with per-route TCP window overrides.
+
+Linux allows ``initcwnd`` and ``initrwnd`` to be attached to individual
+routes; a connection picks them up at establishment via longest-prefix
+match on the destination.  This is the one kernel mechanism Riptide uses,
+so it is modelled faithfully: most-specific prefix wins, ``/32`` host
+routes beat prefix routes beat the default route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.net.addresses import IPv4Address, Prefix
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One FIB entry.
+
+    ``initcwnd``/``initrwnd`` of ``None`` mean "inherit the sysctl
+    default", exactly like a route without those attributes on Linux.
+    """
+
+    prefix: Prefix
+    initcwnd: int | None = None
+    initrwnd: int | None = None
+    proto: str = "static"
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.initcwnd is not None and self.initcwnd < 1:
+            raise ValueError(f"initcwnd must be >= 1, got {self.initcwnd}")
+        if self.initrwnd is not None and self.initrwnd < 1:
+            raise ValueError(f"initrwnd must be >= 1, got {self.initrwnd}")
+
+    def format_linux(self) -> str:
+        """Render roughly as ``ip route show`` would."""
+        parts = [str(self.prefix), f"proto {self.proto}"]
+        if self.initcwnd is not None:
+            parts.append(f"initcwnd {self.initcwnd}")
+        if self.initrwnd is not None:
+            parts.append(f"initrwnd {self.initrwnd}")
+        return " ".join(parts)
+
+
+class RouteTable:
+    """Longest-prefix-match route table."""
+
+    def __init__(self) -> None:
+        self._routes: dict[Prefix, RouteEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def add(self, entry: RouteEntry) -> None:
+        """Add a route; fails if the exact prefix already exists."""
+        if entry.prefix in self._routes:
+            raise KeyError(f"route for {entry.prefix} already exists")
+        self._routes[entry.prefix] = entry
+
+    def replace(self, entry: RouteEntry) -> None:
+        """Add or overwrite the route for the entry's prefix."""
+        self._routes[entry.prefix] = entry
+
+    def delete(self, prefix: Prefix) -> RouteEntry:
+        """Remove and return the route for an exact prefix.
+
+        Raises :class:`KeyError` when no such route exists.
+        """
+        return self._routes.pop(prefix)
+
+    def get(self, prefix: Prefix) -> RouteEntry | None:
+        """The route for an *exact* prefix, if present."""
+        return self._routes.get(prefix)
+
+    def lookup(self, destination: IPv4Address) -> RouteEntry | None:
+        """Longest-prefix match for a destination address."""
+        best: RouteEntry | None = None
+        for prefix, entry in self._routes.items():
+            if prefix.contains(destination):
+                if best is None or prefix.length > best.prefix.length:
+                    best = entry
+        return best
+
+    def entries(self) -> list[RouteEntry]:
+        """All routes, most specific first (stable order within a length)."""
+        return sorted(
+            self._routes.values(),
+            key=lambda e: (-e.prefix.length, e.prefix.network.value),
+        )
+
+    def update_attributes(
+        self,
+        prefix: Prefix,
+        initcwnd: int | None = None,
+        initrwnd: int | None = None,
+    ) -> RouteEntry:
+        """Modify window attributes of an existing route in place."""
+        entry = self._routes[prefix]
+        updated = replace(entry, initcwnd=initcwnd, initrwnd=initrwnd)
+        self._routes[prefix] = updated
+        return updated
+
+    def __repr__(self) -> str:
+        return f"<RouteTable routes={len(self._routes)}>"

@@ -1,0 +1,62 @@
+"""An ``ss``-shaped socket statistics interface.
+
+Riptide "polls the congestion window of all open connections via the ss
+utility".  :meth:`SsTool.tcp_info` returns snapshots of the host's live
+sockets; filters mirror the flags the agent would pass on a real server
+(established-only, outgoing-only, created-after).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.tcp.socket import SocketStats, TcpState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.linux.host import Host
+
+
+class SsTool:
+    """``ss -ti``-style observation of a host's sockets."""
+
+    def __init__(self, host: "Host") -> None:
+        self._host = host
+        self.polls = 0
+
+    def tcp_info(
+        self,
+        established_only: bool = True,
+        outgoing_only: bool = False,
+        created_after: float | None = None,
+    ) -> list[SocketStats]:
+        """Snapshots of all live sockets matching the filters."""
+        self.polls += 1
+        snapshots = []
+        for sock in self._host.sockets():
+            if established_only and sock.state is not TcpState.ESTABLISHED:
+                continue
+            if outgoing_only and not sock.is_client:
+                continue
+            if created_after is not None and sock.created_at < created_after:
+                continue
+            snapshots.append(sock.stats_snapshot())
+        return snapshots
+
+    def format_lines(self, **filters) -> list[str]:
+        """Human-readable lines approximating ``ss -ti`` output."""
+        lines = []
+        for info in self.tcp_info(**filters):
+            srtt = f"{info.srtt * 1e3:.1f}" if info.srtt is not None else "-"
+            lines.append(
+                f"{info.state.value:<12} {self._host.address}:{info.local_port}"
+                f" -> {info.remote_address}:{info.remote_port}"
+                f" cubic cwnd:{info.cwnd} rtt:{srtt}ms"
+                f" bytes_acked:{info.bytes_acked}"
+            )
+        return lines
+
+    def __repr__(self) -> str:
+        return f"<SsTool host={self._host.address} polls={self.polls}>"
+
+
+__all__ = ["SocketStats", "SsTool"]

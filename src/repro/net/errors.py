@@ -1,0 +1,13 @@
+"""Exception hierarchy for the network substrate."""
+
+
+class NetworkError(Exception):
+    """Base class for network substrate errors."""
+
+
+class AddressError(NetworkError):
+    """Raised for malformed IPv4 addresses or prefixes."""
+
+
+class NoRouteError(NetworkError):
+    """Raised when the fabric has no path between two attached hosts."""

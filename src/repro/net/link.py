@@ -1,0 +1,190 @@
+"""Links: serialization, propagation, queueing and loss.
+
+A :class:`Link` is one direction of a wide-area path.  It models
+
+* a finite drop-tail queue (packets wait while the transmitter is busy),
+* store-and-forward serialization at ``bandwidth_bps``,
+* fixed propagation delay, and
+* stochastic in-flight loss via a :class:`~repro.net.loss.LossModel`.
+
+Together these produce exactly the dynamics TCP start-up cares about: an
+over-large initial burst either queues (adding delay) or overflows the
+queue (causing loss), which is why Riptide clamps its learned windows.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.loss import LossModel, NoLoss
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+
+DeliverCallback = Callable[[Packet], None]
+
+
+@dataclass
+class LinkStats:
+    """Counters accumulated over the lifetime of a link direction."""
+
+    packets_offered: int = 0
+    packets_delivered: int = 0
+    packets_dropped_queue: int = 0
+    packets_dropped_loss: int = 0
+    bytes_offered: int = 0
+    bytes_delivered: int = 0
+    max_queue_depth: int = 0
+
+    @property
+    def packets_dropped(self) -> int:
+        return self.packets_dropped_queue + self.packets_dropped_loss
+
+    @property
+    def drop_rate(self) -> float:
+        if self.packets_offered == 0:
+            return 0.0
+        return self.packets_dropped / self.packets_offered
+
+
+@dataclass
+class _QueuedPacket:
+    packet: Packet
+    deliver: DeliverCallback = field(repr=False)
+
+
+class Link:
+    """One unidirectional link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        propagation_delay: float,
+        queue_limit_packets: int = 256,
+        loss_model: LossModel | None = None,
+        rng: random.Random | None = None,
+        name: str = "link",
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if propagation_delay < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {propagation_delay}")
+        if queue_limit_packets < 1:
+            raise ValueError(f"queue limit must be >= 1, got {queue_limit_packets}")
+        self._sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.propagation_delay = float(propagation_delay)
+        self.queue_limit_packets = int(queue_limit_packets)
+        self._loss = loss_model if loss_model is not None else NoLoss()
+        self._rng = rng if rng is not None else random.Random(0)
+        self.name = name
+        self.stats = LinkStats()
+        self._queue: deque[_QueuedPacket] = deque()
+        self._transmitting = False
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets waiting (not counting the one on the wire)."""
+        return len(self._queue)
+
+    def serialization_time(self, size_bytes: int) -> float:
+        """Seconds to clock ``size_bytes`` onto the wire."""
+        return size_bytes * 8.0 / self.bandwidth_bps
+
+    def transmit(self, packet: Packet, deliver: DeliverCallback) -> bool:
+        """Offer a packet to the link.
+
+        Returns False when the queue is full and the packet was dropped at
+        the tail; True when it was accepted (acceptance does not guarantee
+        delivery — in-flight loss may still eat it).
+        """
+        self.stats.packets_offered += 1
+        self.stats.bytes_offered += packet.size_bytes
+        if len(self._queue) >= self.queue_limit_packets:
+            self.stats.packets_dropped_queue += 1
+            return False
+        self._queue.append(_QueuedPacket(packet, deliver))
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
+        if not self._transmitting:
+            self._start_next_transmission()
+        return True
+
+    def _start_next_transmission(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        item = self._queue.popleft()
+        tx_time = self.serialization_time(item.packet.size_bytes)
+        self._sim.schedule(tx_time, self._finish_transmission, item)
+
+    def _finish_transmission(self, item: _QueuedPacket) -> None:
+        packet = item.packet
+        if self._loss.should_drop(self._rng):
+            self.stats.packets_dropped_loss += 1
+        else:
+            packet.sent_at = self._sim.now
+            self._sim.schedule(self.propagation_delay, self._deliver, item)
+        self._start_next_transmission()
+
+    def _deliver(self, item: _QueuedPacket) -> None:
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += item.packet.size_bytes
+        item.deliver(item.packet)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Link {self.name!r} {self.bandwidth_bps / 1e6:.1f}Mbps "
+            f"{self.propagation_delay * 1e3:.1f}ms q={self.queue_depth}>"
+        )
+
+
+class DuplexLink:
+    """A symmetric pair of :class:`Link` directions between two ends.
+
+    The loss model is cloned so each direction has independent channel
+    state; each direction also gets its own RNG stream.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        propagation_delay: float,
+        queue_limit_packets: int = 256,
+        loss_model: LossModel | None = None,
+        rng_forward: random.Random | None = None,
+        rng_reverse: random.Random | None = None,
+        name: str = "duplex",
+    ) -> None:
+        template = loss_model if loss_model is not None else NoLoss()
+        self.name = name
+        self.forward = Link(
+            sim,
+            bandwidth_bps,
+            propagation_delay,
+            queue_limit_packets,
+            template.clone(),
+            rng_forward,
+            name=f"{name}:fwd",
+        )
+        self.reverse = Link(
+            sim,
+            bandwidth_bps,
+            propagation_delay,
+            queue_limit_packets,
+            template.clone(),
+            rng_reverse,
+            name=f"{name}:rev",
+        )
+
+    @property
+    def rtt(self) -> float:
+        """Round-trip propagation delay (excluding serialization/queueing)."""
+        return self.forward.propagation_delay + self.reverse.propagation_delay
+
+    def __repr__(self) -> str:
+        return f"<DuplexLink {self.name!r} rtt={self.rtt * 1e3:.1f}ms>"

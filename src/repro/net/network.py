@@ -1,0 +1,177 @@
+"""The fabric: zones, inter-zone trunks and packet delivery.
+
+The reproduction models the CDN the way the paper describes it: every PoP
+owns an address prefix ("zone"), and each ordered pair of PoPs communicates
+over a shared wide-area trunk (a :class:`~repro.net.link.DuplexLink`).  All
+connections between two PoPs therefore share one bottleneck, which is what
+makes the congestion windows of *existing* connections informative about
+the path — the observation Riptide exploits.
+
+Hosts attach by address.  ``send`` resolves ``(src, dst)`` to the trunk
+between their zones (intra-zone traffic takes a fast local path) and the
+trunk delivers to the destination host's ``receive_packet``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.net.addresses import IPv4Address, Prefix
+from repro.net.errors import NetworkError, NoRouteError
+from repro.net.link import DuplexLink, Link
+from repro.net.loss import LossModel, NoLoss
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.sim.rand import RandomStreams
+
+
+class AttachedHost(Protocol):
+    """What the fabric requires of a host."""
+
+    address: IPv4Address
+
+    def receive_packet(self, packet: Packet) -> None: ...
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """Parameters of one inter-zone trunk.
+
+    ``propagation_delay`` is one-way; the resulting base RTT is twice this.
+    """
+
+    bandwidth_bps: float = 1e9
+    propagation_delay: float = 0.040
+    queue_limit_packets: int = 1024
+    loss_model: LossModel = field(default_factory=NoLoss)
+
+    @property
+    def base_rtt(self) -> float:
+        return 2.0 * self.propagation_delay
+
+
+class Network:
+    """Zones, trunks and hosts wired together over one simulator."""
+
+    #: Delay for traffic between hosts of the same zone (LAN hop).
+    DEFAULT_INTRA_ZONE_DELAY = 0.00025
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RandomStreams | None = None,
+        intra_zone_delay: float = DEFAULT_INTRA_ZONE_DELAY,
+    ) -> None:
+        self._sim = sim
+        self._streams = streams if streams is not None else RandomStreams(0)
+        self._zones: list[Prefix] = []
+        self._trunks: dict[tuple[Prefix, Prefix], Link] = {}
+        self._duplexes: dict[frozenset[Prefix], DuplexLink] = {}
+        self._hosts: dict[IPv4Address, AttachedHost] = {}
+        self._zone_cache: dict[IPv4Address, Prefix | None] = {}
+        self._intra_zone_delay = intra_zone_delay
+        self.packets_to_unknown_host = 0
+
+    @property
+    def sim(self) -> Simulator:
+        return self._sim
+
+    @property
+    def zones(self) -> tuple[Prefix, ...]:
+        return tuple(self._zones)
+
+    def add_zone(self, prefix: Prefix) -> None:
+        """Register an address zone (a PoP's prefix)."""
+        for existing in self._zones:
+            if existing.contains_prefix(prefix) or prefix.contains_prefix(existing):
+                raise NetworkError(f"zone {prefix} overlaps existing zone {existing}")
+        self._zones.append(prefix)
+        self._zone_cache.clear()
+
+    def connect_zones(
+        self,
+        zone_a: Prefix,
+        zone_b: Prefix,
+        spec: PathSpec,
+    ) -> DuplexLink:
+        """Create the wide-area trunk between two registered zones."""
+        if zone_a not in self._zones or zone_b not in self._zones:
+            raise NetworkError("both zones must be registered before connecting")
+        if zone_a == zone_b:
+            raise NetworkError("cannot connect a zone to itself")
+        key = frozenset((zone_a, zone_b))
+        if key in self._duplexes:
+            raise NetworkError(f"zones {zone_a} and {zone_b} are already connected")
+        name = f"{zone_a}<->{zone_b}"
+        duplex = DuplexLink(
+            self._sim,
+            spec.bandwidth_bps,
+            spec.propagation_delay,
+            spec.queue_limit_packets,
+            spec.loss_model,
+            rng_forward=self._streams.stream(f"loss:{name}:fwd"),
+            rng_reverse=self._streams.stream(f"loss:{name}:rev"),
+            name=name,
+        )
+        self._duplexes[key] = duplex
+        self._trunks[(zone_a, zone_b)] = duplex.forward
+        self._trunks[(zone_b, zone_a)] = duplex.reverse
+        return duplex
+
+    def trunk_between(self, zone_a: Prefix, zone_b: Prefix) -> DuplexLink | None:
+        """The duplex trunk between two zones, if one exists."""
+        return self._duplexes.get(frozenset((zone_a, zone_b)))
+
+    def attach(self, host: AttachedHost) -> None:
+        """Attach a host; its address must be unique on the fabric."""
+        if host.address in self._hosts:
+            raise NetworkError(f"address {host.address} already attached")
+        self._hosts[host.address] = host
+
+    def detach(self, address: IPv4Address) -> None:
+        self._hosts.pop(address, None)
+
+    def host_at(self, address: IPv4Address) -> AttachedHost | None:
+        return self._hosts.get(address)
+
+    def zone_of(self, address: IPv4Address) -> Prefix | None:
+        """The zone containing ``address`` (cached per address)."""
+        if address in self._zone_cache:
+            return self._zone_cache[address]
+        found = None
+        for zone in self._zones:
+            if zone.contains(address):
+                found = zone
+                break
+        self._zone_cache[address] = found
+        return found
+
+    def send(self, packet: Packet) -> None:
+        """Inject a packet; it is delivered (or dropped) asynchronously."""
+        src_zone = self.zone_of(packet.src)
+        dst_zone = self.zone_of(packet.dst)
+        if src_zone is None or dst_zone is None:
+            raise NoRouteError(
+                f"no zone for {packet.src if src_zone is None else packet.dst}"
+            )
+        if src_zone == dst_zone:
+            self._sim.schedule(self._intra_zone_delay, self._deliver_local, packet)
+            return
+        trunk = self._trunks.get((src_zone, dst_zone))
+        if trunk is None:
+            raise NoRouteError(f"no trunk from zone {src_zone} to zone {dst_zone}")
+        trunk.transmit(packet, self._deliver_local)
+
+    def _deliver_local(self, packet: Packet) -> None:
+        host = self._hosts.get(packet.dst)
+        if host is None:
+            self.packets_to_unknown_host += 1
+            return
+        host.receive_packet(packet)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network zones={len(self._zones)} trunks={len(self._duplexes)} "
+            f"hosts={len(self._hosts)}>"
+        )

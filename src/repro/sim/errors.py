@@ -1,0 +1,13 @@
+"""Exception hierarchy for the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation kernel errors."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled at an invalid time.
+
+    The kernel refuses to schedule events in the past: doing so would
+    silently violate causality and make results depend on handler order.
+    """

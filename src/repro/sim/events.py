@@ -1,0 +1,99 @@
+"""Events and the event queue.
+
+Events are ordered by ``(time, sequence_number)``.  The sequence number is a
+monotonically increasing tie-breaker: two events scheduled for the same
+instant fire in the order they were scheduled, which keeps simulations
+deterministic regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class Event:
+    """A single scheduled callback.
+
+    Instances are handles: holding one allows the owner to :meth:`cancel`
+    the event before it fires.  Cancelled events stay in the heap (removal
+    from the middle of a heap is O(n)) and are skipped on pop.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.6f} seq={self.seq} {name}{state}>"
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`IndexError` when no live events remain.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty event queue")
+
+    def peek_time(self) -> float:
+        """Return the firing time of the earliest live event.
+
+        Raises :class:`IndexError` when no live events remain.
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            raise IndexError("peek on empty event queue")
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Record that one live event in the heap was cancelled.
+
+        Called by the kernel so ``len(queue)`` stays an accurate count of
+        events that will actually fire.
+        """
+        if self._live > 0:
+            self._live -= 1

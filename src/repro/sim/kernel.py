@@ -1,0 +1,118 @@
+"""The simulation kernel.
+
+A :class:`Simulator` owns the clock and the event queue.  All other
+components (links, sockets, agents) hold a reference to the simulator and
+interact with time exclusively through :meth:`Simulator.schedule` — nothing
+in the reproduction reads a wall clock, so a run is a pure function of its
+seed and parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.errors import SchedulingError
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Discrete-event simulator with a float-seconds clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._seq = 0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events awaiting execution."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns an :class:`Event` handle whose ``cancel()`` prevents the
+        callback from firing.  ``delay`` must be non-negative.
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay:.6f}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
+            )
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        self._queue.push(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event.  Idempotent."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Execute events in time order.
+
+        Runs until the queue drains, until the clock would pass ``until``
+        (the clock is then advanced to exactly ``until``), or until
+        ``max_events`` events have been executed in this call — whichever
+        comes first.  Returns the simulation time at exit.
+        """
+        if self._running:
+            raise SchedulingError("run() called re-entrantly from an event handler")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                event.callback(*event.args)
+                self._events_processed += 1
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_idle(self) -> float:
+        """Run until no events remain.  Returns the final clock value."""
+        return self.run()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Simulator t={self._now:.6f} pending={self.pending_events} "
+            f"processed={self._events_processed}>"
+        )

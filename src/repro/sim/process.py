@@ -1,0 +1,76 @@
+"""Periodic processes.
+
+Riptide itself, the ``ss`` samplers, and the workload generators are all
+"every N seconds" loops.  :class:`PeriodicProcess` packages that pattern:
+a tick callback re-scheduled at a fixed interval until stopped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.errors import SchedulingError
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+class PeriodicProcess:
+    """Invoke a callback every ``interval`` seconds of simulated time.
+
+    The first tick fires ``initial_delay`` seconds after :meth:`start`
+    (default: one full interval).  The callback may call :meth:`stop` to
+    terminate the loop from inside a tick.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        name: str = "periodic",
+    ) -> None:
+        if interval <= 0:
+            raise SchedulingError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = float(interval)
+        self._callback = callback
+        self._name = name
+        self._pending: Event | None = None
+        self._ticks = 0
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @property
+    def running(self) -> bool:
+        return self._pending is not None
+
+    @property
+    def ticks(self) -> int:
+        """Number of times the callback has fired."""
+        return self._ticks
+
+    def start(self, initial_delay: float | None = None) -> None:
+        """Begin ticking.  No-op if already running."""
+        if self._pending is not None:
+            return
+        delay = self._interval if initial_delay is None else initial_delay
+        self._pending = self._sim.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking.  Safe to call from inside the callback."""
+        if self._pending is not None:
+            self._sim.cancel(self._pending)
+            self._pending = None
+
+    def _tick(self) -> None:
+        # Re-arm before invoking the callback so that a callback calling
+        # stop() cancels the *next* tick rather than racing with it.
+        self._pending = self._sim.schedule(self._interval, self._tick)
+        self._ticks += 1
+        self._callback()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"<PeriodicProcess {self._name!r} every {self._interval}s {state}>"

@@ -1,0 +1,43 @@
+"""Segment-granularity TCP for the simulation.
+
+Implements the pieces of Linux TCP that Riptide's behaviour depends on:
+
+* three-way handshake (new connections cost one RTT before data),
+* slow start from a configurable *initial congestion window* — the knob
+  Riptide turns,
+* congestion avoidance via pluggable congestion control (Reno, CUBIC),
+* duplicate-ACK fast retransmit with NewReno fast recovery,
+* RFC 6298 retransmission timeouts with exponential backoff, and
+* receive-window flow control with a configurable *initial receive
+  window* (the Section III-C coupling: the receiver must be able to
+  absorb the sender's first burst).
+"""
+
+from repro.tcp.cc import Cubic, CongestionControl, Reno, make_congestion_control
+from repro.tcp.constants import (
+    TCP_HEADER_BYTES,
+    TcpConfig,
+)
+from repro.tcp.errors import TcpError, TcpStateError
+from repro.tcp.rto import RttEstimator
+from repro.tcp.socket import SocketStats, TcpSocket, TcpState
+from repro.tcp.listener import TcpListener
+from repro.tcp.wire import MessageMark, Segment
+
+__all__ = [
+    "CongestionControl",
+    "Cubic",
+    "MessageMark",
+    "Reno",
+    "RttEstimator",
+    "Segment",
+    "SocketStats",
+    "TCP_HEADER_BYTES",
+    "TcpConfig",
+    "TcpError",
+    "TcpListener",
+    "TcpSocket",
+    "TcpState",
+    "TcpStateError",
+    "make_congestion_control",
+]

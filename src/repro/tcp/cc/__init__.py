@@ -1,0 +1,51 @@
+"""Pluggable congestion control.
+
+Riptide deliberately leaves steady-state window dynamics to the kernel's
+congestion control ("the behavior of the congestion window is handled by
+the congestion control algorithm, for example via TCP Cubic").  The socket
+therefore delegates all cwnd/ssthresh arithmetic to one of these classes,
+seeded with whatever *initial* window the route table (i.e. Riptide)
+prescribes.
+"""
+
+from repro.tcp.cc.base import CongestionControl
+from repro.tcp.cc.cubic import Cubic
+from repro.tcp.cc.reno import Reno
+from repro.tcp.cc.vegas import Vegas
+
+_REGISTRY = {
+    "reno": Reno,
+    "cubic": Cubic,
+    "vegas": Vegas,
+}
+
+
+def make_congestion_control(
+    name: str,
+    initial_cwnd: int,
+    mss: int,
+) -> CongestionControl:
+    """Instantiate a registered congestion control by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown congestion control {name!r} (known: {known})")
+    return cls(initial_cwnd=initial_cwnd, mss=mss)
+
+
+def register_congestion_control(name: str, cls: type) -> None:
+    """Register a custom congestion control implementation."""
+    if not issubclass(cls, CongestionControl):
+        raise TypeError(f"{cls!r} is not a CongestionControl subclass")
+    _REGISTRY[name] = cls
+
+
+__all__ = [
+    "CongestionControl",
+    "Cubic",
+    "Reno",
+    "Vegas",
+    "make_congestion_control",
+    "register_congestion_control",
+]

@@ -1,0 +1,80 @@
+"""TCP CUBIC congestion control (RFC 8312 flavour).
+
+CUBIC is the Linux default and therefore the algorithm running underneath
+Riptide in the paper's deployment.  The implementation follows the RFC's
+window function with the TCP-friendly region; HyStart is omitted (standard
+slow start until ``ssthresh``), which matches the paper's Section II-B
+model of start-up behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc.base import MIN_CWND, CongestionControl
+
+#: CUBIC scaling constant (RFC 8312 recommends 0.4).
+CUBIC_C = 0.4
+
+#: Multiplicative decrease factor.
+CUBIC_BETA = 0.7
+
+
+class Cubic(CongestionControl):
+    """CUBIC window growth with fast-convergence and a Reno-friendly floor."""
+
+    name = "cubic"
+
+    def __init__(self, initial_cwnd: int, mss: int) -> None:
+        super().__init__(initial_cwnd=initial_cwnd, mss=mss)
+        self._w_max: float = 0.0
+        self._k: float = 0.0
+        self._epoch_start: float | None = None
+        self._w_tcp: float = 0.0
+        self._acked_in_epoch: float = 0.0
+
+    def _avoid_congestion(
+        self, now: float, acked_segments: float, rtt: float | None
+    ) -> None:
+        if self._epoch_start is None:
+            self._begin_epoch(now)
+        t = now - self._epoch_start
+        rtt = rtt if rtt is not None else 0.0
+        target = self._w_cubic(t + rtt)
+        if target > self.cwnd:
+            # Standard per-ACK approach toward the cubic target.
+            self.cwnd += (target - self.cwnd) / max(self.cwnd, 1.0) * acked_segments
+        else:
+            # Plateau region: creep so the window is not frozen forever.
+            self.cwnd += 0.01 * acked_segments / max(self.cwnd, 1.0)
+        # TCP-friendly region: never be slower than Reno-equivalent growth.
+        self._acked_in_epoch += acked_segments
+        self._w_tcp += (3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA)) * (
+            acked_segments / max(self.cwnd, 1.0)
+        )
+        if self._w_tcp > self.cwnd:
+            self.cwnd = self._w_tcp
+
+    def on_loss_event(self, now: float) -> None:
+        # Fast convergence: if the window never regained the previous
+        # maximum, assume capacity shrank and remember an even lower peak.
+        if self.cwnd < self._w_max:
+            self._w_max = self.cwnd * (1.0 + CUBIC_BETA) / 2.0
+        else:
+            self._w_max = self.cwnd
+        self.ssthresh = max(self.cwnd * CUBIC_BETA, MIN_CWND)
+        self._epoch_start = None
+
+    def _begin_epoch(self, now: float) -> None:
+        self._epoch_start = now
+        if self._w_max == 0.0:
+            # No loss yet (came out of slow start via explicit ssthresh):
+            # treat the current window as the previous maximum.
+            self._w_max = max(self.cwnd, 1.0)
+        if self.cwnd < self._w_max:
+            self._k = ((self._w_max - self.cwnd) / CUBIC_C) ** (1.0 / 3.0)
+        else:
+            self._k = 0.0
+        self._w_tcp = self.cwnd
+        self._acked_in_epoch = 0.0
+
+    def _w_cubic(self, t: float) -> float:
+        return CUBIC_C * (t - self._k) ** 3 + self._w_max

@@ -1,0 +1,20 @@
+"""TCP Reno (RFC 5681) congestion control."""
+
+from __future__ import annotations
+
+from repro.tcp.cc.base import MIN_CWND, CongestionControl
+
+
+class Reno(CongestionControl):
+    """Classic AIMD: +1 segment per RTT in avoidance, halve on loss."""
+
+    name = "reno"
+
+    def _avoid_congestion(
+        self, now: float, acked_segments: float, rtt: float | None
+    ) -> None:
+        # cwnd += 1/cwnd per acked segment => +1 segment per RTT.
+        self.cwnd += acked_segments / max(self.cwnd, 1.0)
+
+    def on_loss_event(self, now: float) -> None:
+        self.ssthresh = max(self.cwnd / 2.0, MIN_CWND)

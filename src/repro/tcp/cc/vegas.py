@@ -1,0 +1,60 @@
+"""TCP Vegas congestion control (delay-based).
+
+Included because the paper argues Riptide "is applicable to any TCP
+protocol that employs slow start" — Vegas is the classic delay-based
+counterpoint to loss-based Reno/CUBIC and still begins with standard
+slow start, so a Riptide-learned initial window applies unchanged.
+
+The implementation follows Brakmo & Peterson: compare expected
+throughput (cwnd / base_rtt) with actual throughput (cwnd / rtt); keep
+the surplus between ``alpha`` and ``beta`` segments.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc.base import MIN_CWND, CongestionControl
+
+#: Lower/upper bounds on queued segments the flow tries to keep in flight.
+VEGAS_ALPHA = 2.0
+VEGAS_BETA = 4.0
+
+
+class Vegas(CongestionControl):
+    """Delay-based congestion avoidance with standard slow start."""
+
+    name = "vegas"
+
+    def __init__(self, initial_cwnd: int, mss: int) -> None:
+        super().__init__(initial_cwnd=initial_cwnd, mss=mss)
+        self._base_rtt: float | None = None
+
+    @property
+    def base_rtt(self) -> float | None:
+        """The smallest RTT seen (the propagation-delay estimate)."""
+        return self._base_rtt
+
+    def on_ack(self, now: float, acked_bytes: int, rtt: float | None) -> None:
+        if rtt is not None and rtt > 0:
+            if self._base_rtt is None or rtt < self._base_rtt:
+                self._base_rtt = rtt
+        super().on_ack(now, acked_bytes, rtt)
+
+    def _avoid_congestion(
+        self, now: float, acked_segments: float, rtt: float | None
+    ) -> None:
+        if rtt is None or rtt <= 0 or self._base_rtt is None:
+            # No delay signal yet: fall back to Reno-style growth.
+            self.cwnd += acked_segments / max(self.cwnd, 1.0)
+            return
+        expected = self.cwnd / self._base_rtt
+        actual = self.cwnd / rtt
+        surplus_segments = (expected - actual) * self._base_rtt
+        step = acked_segments / max(self.cwnd, 1.0)
+        if surplus_segments < VEGAS_ALPHA:
+            self.cwnd += step
+        elif surplus_segments > VEGAS_BETA:
+            self.cwnd = max(self.cwnd - step, MIN_CWND)
+        # Inside [alpha, beta]: hold steady.
+
+    def on_loss_event(self, now: float) -> None:
+        self.ssthresh = max(self.cwnd / 2.0, MIN_CWND)

@@ -1,0 +1,9 @@
+"""Exception hierarchy for the TCP substrate."""
+
+
+class TcpError(Exception):
+    """Base class for TCP errors."""
+
+
+class TcpStateError(TcpError):
+    """An operation was attempted in a state that does not allow it."""

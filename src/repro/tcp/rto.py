@@ -1,0 +1,81 @@
+"""Round-trip-time estimation and retransmission timeouts (RFC 6298).
+
+Karn's algorithm is applied by the socket (retransmitted segments never
+produce samples); this class only maintains SRTT/RTTVAR and the backoff.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.constants import INITIAL_RTO, MAX_RTO, MIN_RTO
+
+_ALPHA = 0.125
+_BETA = 0.25
+_K = 4.0
+
+
+class RttEstimator:
+    """SRTT/RTTVAR tracker producing the current RTO."""
+
+    def __init__(
+        self,
+        min_rto: float = MIN_RTO,
+        max_rto: float = MAX_RTO,
+        initial_rto: float = INITIAL_RTO,
+    ) -> None:
+        if not 0 < min_rto <= max_rto:
+            raise ValueError("require 0 < min_rto <= max_rto")
+        self._min_rto = min_rto
+        self._max_rto = max_rto
+        self._initial_rto = initial_rto
+        self._srtt: float | None = None
+        self._rttvar: float = 0.0
+        self._backoff_exponent = 0
+        self._samples = 0
+
+    @property
+    def srtt(self) -> float | None:
+        """Smoothed RTT in seconds, or None before the first sample."""
+        return self._srtt
+
+    @property
+    def rttvar(self) -> float:
+        return self._rttvar
+
+    @property
+    def samples(self) -> int:
+        return self._samples
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout, including backoff."""
+        if self._srtt is None:
+            base = self._initial_rto
+        else:
+            base = self._srtt + _K * self._rttvar
+        base = min(max(base, self._min_rto), self._max_rto)
+        backed_off = base * (2 ** self._backoff_exponent)
+        return min(backed_off, self._max_rto)
+
+    def add_sample(self, rtt: float) -> None:
+        """Fold in a fresh RTT measurement and clear any backoff."""
+        if rtt < 0:
+            raise ValueError(f"negative RTT sample: {rtt}")
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            self._rttvar = (1 - _BETA) * self._rttvar + _BETA * abs(self._srtt - rtt)
+            self._srtt = (1 - _ALPHA) * self._srtt + _ALPHA * rtt
+        self._samples += 1
+        self._backoff_exponent = 0
+
+    def back_off(self) -> None:
+        """Double the RTO after a retransmission timeout."""
+        self._backoff_exponent += 1
+
+    def reset_backoff(self) -> None:
+        self._backoff_exponent = 0
+
+    def __repr__(self) -> str:
+        srtt = f"{self._srtt * 1e3:.1f}ms" if self._srtt is not None else "-"
+        return f"<RttEstimator srtt={srtt} rto={self.rto * 1e3:.1f}ms>"

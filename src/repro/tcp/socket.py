@@ -1,0 +1,910 @@
+"""The TCP socket state machine.
+
+One :class:`TcpSocket` is one side of one connection.  The implementation
+is deliberately shaped like the Linux path that matters to Riptide:
+
+* at ``connect()`` (or on accepting a SYN) the socket asks its host for the
+  initial congestion window of the route to the peer — this is the exact
+  point where a Riptide-installed ``ip route ... initcwnd`` takes effect;
+* the congestion window then evolves purely under the plugged congestion
+  control (slow start, congestion avoidance, NewReno recovery, RTO), so
+  Riptide only ever changes the *starting point* of a connection;
+* the receiver advertises an initial window taken from its own route/sysctl
+  (``initrwnd``) that then auto-grows, reproducing the Section III-C
+  requirement that receive windows cover the sender's first burst.
+
+Applications exchange *messages* (sized byte counts with opaque payloads);
+a message is delivered when its last byte arrives in order — the moment
+the paper's diagnostic probes time.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.net.addresses import IPv4Address
+from repro.net.packet import Packet
+from repro.sim.events import Event
+from repro.tcp.cc import make_congestion_control
+from repro.tcp.constants import (
+    DELAYED_ACK_TIMEOUT,
+    DUPACK_THRESHOLD,
+    TCP_HEADER_BYTES,
+    TcpConfig,
+)
+from repro.tcp.errors import TcpStateError
+from repro.tcp.rto import RttEstimator
+from repro.tcp.wire import MessageMark, Segment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.linux.host import Host
+
+
+class TcpState(enum.Enum):
+    """Connection states (TIME_WAIT is collapsed into CLOSED)."""
+
+    CLOSED = "closed"
+    SYN_SENT = "syn-sent"
+    SYN_RCVD = "syn-rcvd"
+    ESTABLISHED = "established"
+    FIN_WAIT_1 = "fin-wait-1"
+    FIN_WAIT_2 = "fin-wait-2"
+    CLOSE_WAIT = "close-wait"
+    LAST_ACK = "last-ack"
+
+
+@dataclass(frozen=True)
+class SocketStats:
+    """A point-in-time snapshot of one socket — what ``ss -i`` shows.
+
+    Riptide reads ``cwnd`` and ``bytes_acked`` from these snapshots.
+    """
+
+    local_port: int
+    remote_address: IPv4Address
+    remote_port: int
+    state: TcpState
+    cwnd: int
+    ssthresh: float
+    initial_cwnd: int
+    srtt: float | None
+    bytes_acked: int
+    bytes_received: int
+    segments_sent: int
+    segments_retransmitted: int
+    created_at: float
+    established_at: float | None
+    last_activity_at: float
+    is_client: bool = False
+
+
+@dataclass
+class _SentSegment:
+    """Book-keeping for one segment awaiting acknowledgement."""
+
+    seq: int
+    end_seq: int
+    payload_bytes: int
+    syn: bool
+    fin: bool
+    marks: tuple[MessageMark, ...]
+    last_sent_at: float
+    retransmitted: bool = False
+    #: Selectively acknowledged (SACK): delivered but not yet cum-acked.
+    sacked: bool = False
+    #: Already retransmitted during the current recovery episode.
+    rexmit_in_recovery: bool = False
+
+
+class TcpSocket:
+    """One endpoint of a TCP connection."""
+
+    def __init__(
+        self,
+        host: "Host",
+        local_port: int,
+        remote_address: IPv4Address,
+        remote_port: int,
+        config: TcpConfig,
+        initial_cwnd: int,
+        initial_rwnd_segments: int,
+    ) -> None:
+        self._host = host
+        self._sim = host.sim
+        self._config = config
+        self.local_port = local_port
+        self.remote_address = remote_address
+        self.remote_port = remote_port
+        self.state = TcpState.CLOSED
+        #: True for actively opened (outgoing) connections; set by the host.
+        self.is_client = False
+        #: When True, the socket closes itself as soon as the peer's FIN
+        #: arrives (typical request/response server behaviour on EOF).
+        self.close_on_peer_fin = False
+
+        self.cc = make_congestion_control(
+            config.congestion_control, initial_cwnd, config.mss
+        )
+        self._rtt = RttEstimator(
+            min_rto=config.min_rto,
+            max_rto=config.max_rto,
+            initial_rto=config.initial_rto,
+        )
+
+        # --- send side -------------------------------------------------
+        self._snd_una = 0
+        self._snd_nxt = 0
+        self._snd_buf_end = 1  # data begins after the SYN's sequence slot
+        self._pending_marks: list[MessageMark] = []
+        self._rtx_queue: deque[_SentSegment] = deque()
+        self._peer_rwnd_bytes = config.mss  # until the peer advertises
+        self._dupacks = 0
+        self._in_recovery = False
+        self._recover_seq = 0
+        self._recovery_inflation = 0
+        self._fin_queued = False
+        self._fin_sent = False
+        self._rto_event: Event | None = None
+
+        # --- receive side ------------------------------------------------
+        self._rcv_nxt = 0
+        self._ooo: dict[int, Segment] = {}
+        self._recv_marks: dict[int, MessageMark] = {}
+        self._adv_wnd_bytes = initial_rwnd_segments * config.mss
+        self._peer_fin_received = False
+        self._delack_event: Event | None = None
+        self._segments_since_ack = 0
+
+        # --- callbacks ---------------------------------------------------
+        self.on_established: Callable[[TcpSocket], None] | None = None
+        self.on_message: Callable[[TcpSocket, Any, int], None] | None = None
+        self.on_closed: Callable[[TcpSocket], None] | None = None
+        self.on_error: Callable[[TcpSocket, str], None] | None = None
+
+        # --- counters ------------------------------------------------------
+        self.created_at = self._sim.now
+        self.established_at: float | None = None
+        self.last_activity_at = self._sim.now
+        self.last_send_at = self._sim.now
+        self.bytes_acked = 0
+        self.bytes_received = 0
+        self.segments_sent = 0
+        self.segments_received = 0
+        self.segments_retransmitted = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.rtos_fired = 0
+        self.fast_retransmits = 0
+        self._consecutive_rtos = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> TcpConfig:
+        return self._config
+
+    @property
+    def srtt(self) -> float | None:
+        return self._rtt.srtt
+
+    @property
+    def is_established(self) -> bool:
+        return self.state is TcpState.ESTABLISHED
+
+    @property
+    def is_closed(self) -> bool:
+        return self.state is TcpState.CLOSED
+
+    @property
+    def bytes_unacked(self) -> int:
+        """Sequence space in flight (includes SYN/FIN slots)."""
+        return self._snd_nxt - self._snd_una
+
+    @property
+    def send_buffer_bytes(self) -> int:
+        """Bytes written by the application but not yet transmitted."""
+        return self._snd_buf_end - max(self._snd_nxt, 1)
+
+    @property
+    def is_idle(self) -> bool:
+        """Established with nothing queued or in flight in either role."""
+        return (
+            self.state is TcpState.ESTABLISHED
+            and self.bytes_unacked == 0
+            and self.send_buffer_bytes == 0
+        )
+
+    def connect(self) -> None:
+        """Actively open: send the SYN (consumes one RTT before data)."""
+        if self.state is not TcpState.CLOSED:
+            raise TcpStateError(f"connect() in state {self.state}")
+        self.state = TcpState.SYN_SENT
+        self._send_control(syn=True, with_ack=False)
+        self._arm_rto()
+
+    def accept_syn(self, segment: Segment) -> None:
+        """Passively open in response to a received SYN (listener path)."""
+        if self.state is not TcpState.CLOSED:
+            raise TcpStateError(f"accept_syn() in state {self.state}")
+        if not segment.syn:
+            raise TcpStateError("accept_syn() requires a SYN segment")
+        self.state = TcpState.SYN_RCVD
+        self._rcv_nxt = segment.end_seq
+        self._note_peer_window(segment)
+        self._send_control(syn=True, with_ack=True)
+        self._arm_rto()
+
+    def send_message(self, payload: Any, size_bytes: int) -> None:
+        """Queue an application message of ``size_bytes`` for delivery."""
+        if size_bytes <= 0:
+            raise ValueError(f"message size must be positive, got {size_bytes}")
+        if self.state not in (
+            TcpState.SYN_SENT,
+            TcpState.SYN_RCVD,
+            TcpState.ESTABLISHED,
+            TcpState.CLOSE_WAIT,
+        ):
+            raise TcpStateError(f"send_message() in state {self.state}")
+        if self._fin_queued:
+            raise TcpStateError("send_message() after close()")
+        self._snd_buf_end += size_bytes
+        self._pending_marks.append(
+            MessageMark(end_seq=self._snd_buf_end, payload=payload, size_bytes=size_bytes)
+        )
+        self.messages_sent += 1
+        self._try_send()
+
+    def close(self) -> None:
+        """Orderly close: FIN after all queued data drains."""
+        if self.state in (TcpState.CLOSED, TcpState.FIN_WAIT_1, TcpState.FIN_WAIT_2,
+                          TcpState.LAST_ACK):
+            return
+        if self.state is TcpState.SYN_SENT:
+            # Nothing committed yet; tear down silently.
+            self._teardown(notify=True)
+            return
+        self._fin_queued = True
+        self._try_send()
+
+    def vanish(self) -> None:
+        """Drop all state without sending anything (power loss / reboot).
+
+        The peer is left to discover the death through its own timers.
+        """
+        if self.state is TcpState.CLOSED:
+            return
+        self._teardown(notify=True)
+
+    def abort(self) -> None:
+        """Send a best-effort RST and drop all state immediately."""
+        if self.state is TcpState.CLOSED:
+            return
+        segment = Segment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self._snd_nxt,
+            ack=self._rcv_nxt,
+            rst=True,
+            is_ack=True,
+            rwnd_bytes=self._adv_wnd_bytes,
+        )
+        self._emit(segment)
+        self._teardown(notify=True)
+
+    def stats_snapshot(self) -> SocketStats:
+        """The ``ss``-visible view of this socket."""
+        return SocketStats(
+            local_port=self.local_port,
+            remote_address=self.remote_address,
+            remote_port=self.remote_port,
+            state=self.state,
+            cwnd=self.cc.cwnd_segments,
+            ssthresh=self.cc.ssthresh,
+            initial_cwnd=self.cc.initial_cwnd,
+            srtt=self._rtt.srtt,
+            bytes_acked=self.bytes_acked,
+            bytes_received=self.bytes_received,
+            segments_sent=self.segments_sent,
+            segments_retransmitted=self.segments_retransmitted,
+            created_at=self.created_at,
+            established_at=self.established_at,
+            last_activity_at=self.last_activity_at,
+            is_client=self.is_client,
+        )
+
+    # ------------------------------------------------------------------
+    # segment ingress
+    # ------------------------------------------------------------------
+
+    def handle_segment(self, segment: Segment) -> None:
+        """Process one segment addressed to this socket."""
+        if self.state is TcpState.CLOSED:
+            return
+        self.segments_received += 1
+        self.last_activity_at = self._sim.now
+
+        if segment.rst:
+            self._on_reset()
+            return
+
+        self._note_peer_window(segment)
+
+        if segment.syn:
+            self._handle_syn_phase(segment)
+            return
+
+        if segment.is_ack:
+            if self._config.sack and segment.sack_blocks:
+                self._process_sack_blocks(segment.sack_blocks)
+            self._process_ack(segment.ack)
+
+        if segment.payload_bytes > 0 or segment.fin:
+            self._process_incoming_data(segment)
+        elif segment.is_ack and self._peer_fin_received is False:
+            # Pure ACK: nothing further to do.
+            pass
+
+    def _handle_syn_phase(self, segment: Segment) -> None:
+        if self.state is TcpState.SYN_SENT and segment.is_ack:
+            # SYN-ACK: our SYN (seq slot 0) is acknowledged.
+            self._rcv_nxt = segment.end_seq
+            self._process_ack(segment.ack)
+            self._become_established()
+            self._send_pure_ack()
+            self._try_send()
+        elif self.state in (TcpState.SYN_RCVD, TcpState.ESTABLISHED):
+            # Duplicate SYN (our SYN-ACK was lost): re-acknowledge.
+            self._send_pure_ack()
+        # A bare SYN to a connected socket in other states is ignored.
+
+    def _become_established(self) -> None:
+        self.state = TcpState.ESTABLISHED
+        self.established_at = self._sim.now
+        if self.on_established is not None:
+            self.on_established(self)
+
+    # ------------------------------------------------------------------
+    # ACK processing (sender side)
+    # ------------------------------------------------------------------
+
+    def _process_ack(self, ack: int) -> None:
+        if ack > self._snd_nxt:
+            return  # acks data we never sent; ignore
+        if ack > self._snd_una:
+            self._on_new_ack(ack)
+        elif (
+            ack == self._snd_una
+            and self.bytes_unacked > 0
+            and self.state
+            in (TcpState.ESTABLISHED, TcpState.FIN_WAIT_1, TcpState.CLOSE_WAIT,
+                TcpState.LAST_ACK)
+        ):
+            self._on_duplicate_ack()
+
+    def _on_new_ack(self, ack: int) -> None:
+        acked_bytes = 0
+        rtt_sample: float | None = None
+        while self._rtx_queue and self._rtx_queue[0].end_seq <= ack:
+            entry = self._rtx_queue.popleft()
+            acked_bytes += entry.payload_bytes
+            if not entry.retransmitted:
+                rtt_sample = self._sim.now - entry.last_sent_at
+        self._snd_una = ack
+        self._consecutive_rtos = 0
+        if rtt_sample is not None:
+            self._rtt.add_sample(rtt_sample)
+        self.bytes_acked += acked_bytes
+
+        if self.state is TcpState.SYN_RCVD and ack >= 1:
+            self._become_established()
+        if self._in_recovery:
+            if ack >= self._recover_seq:
+                self._exit_recovery()
+            else:
+                self._on_partial_ack()
+        else:
+            self._dupacks = 0
+            self.cc.on_ack(self._sim.now, acked_bytes, self._rtt.srtt)
+
+        self._manage_fin_acknowledgement(ack)
+        self._rearm_or_cancel_rto()
+        self._try_send()
+
+    def _on_duplicate_ack(self) -> None:
+        self._dupacks += 1
+        if self._in_recovery:
+            self._recovery_inflation += 1
+            self._try_send()
+        elif self._dupacks >= DUPACK_THRESHOLD:
+            self._enter_recovery()
+
+    def _enter_recovery(self) -> None:
+        self._in_recovery = True
+        self._recover_seq = self._snd_nxt
+        self.cc.on_loss_event(self._sim.now)
+        self.cc.cwnd = max(self.cc.ssthresh, 1.0)
+        self._recovery_inflation = DUPACK_THRESHOLD
+        self.fast_retransmits += 1
+        if self._config.sack:
+            self._retransmit_sack_holes()
+        else:
+            self._retransmit_head()
+        self._arm_rto()
+
+    def _on_partial_ack(self) -> None:
+        # NewReno: the next hole starts at the new snd_una; retransmit it.
+        # With SACK, fill every known hole the window allows instead.
+        if self._config.sack:
+            self._retransmit_sack_holes()
+        else:
+            self._retransmit_head()
+        self._arm_rto()
+
+    def _exit_recovery(self) -> None:
+        self._in_recovery = False
+        self._recovery_inflation = 0
+        self._dupacks = 0
+        for entry in self._rtx_queue:
+            entry.rexmit_in_recovery = False
+        self.cc.after_recovery()
+
+    # ------------------------------------------------------------------
+    # SACK processing (sender side)
+    # ------------------------------------------------------------------
+
+    def _process_sack_blocks(
+        self, blocks: tuple[tuple[int, int], ...]
+    ) -> None:
+        for entry in self._rtx_queue:
+            if entry.sacked:
+                continue
+            for start, end in blocks:
+                if start <= entry.seq and entry.end_seq <= end:
+                    entry.sacked = True
+                    break
+        if self._in_recovery:
+            self._retransmit_sack_holes()
+
+    def _sacked_bytes(self) -> int:
+        return sum(e.end_seq - e.seq for e in self._rtx_queue if e.sacked)
+
+    def _retransmit_sack_holes(self) -> None:
+        """Retransmit segments deemed lost (simplified RFC 6675).
+
+        A segment is lost when at least DUPACK_THRESHOLD SACKed segments
+        lie above it, or when it heads the retransmission queue during
+        recovery (the cumulative ACK is stuck on it).  Retransmissions
+        respect the usable window via the pipe estimate.
+        """
+        window = self._effective_window_bytes()
+        entries = list(self._rtx_queue)
+        sacked_above = [0] * len(entries)
+        count = 0
+        for index in range(len(entries) - 1, -1, -1):
+            sacked_above[index] = count
+            if entries[index].sacked:
+                count += 1
+        for index, entry in enumerate(entries):
+            if entry.seq >= self._recover_seq:
+                break
+            if entry.sacked or entry.rexmit_in_recovery:
+                continue
+            deemed_lost = (
+                sacked_above[index] >= DUPACK_THRESHOLD or index == 0
+            )
+            if not deemed_lost:
+                continue
+            if self._bytes_in_flight() >= window:
+                break
+            entry.rexmit_in_recovery = True
+            self._retransmit_entry(entry)
+
+    def _manage_fin_acknowledgement(self, ack: int) -> None:
+        if not self._fin_sent:
+            return
+        fin_acked = ack >= self._snd_nxt and not self._rtx_queue
+        if not fin_acked:
+            return
+        if self.state is TcpState.FIN_WAIT_1:
+            if self._peer_fin_received:
+                self._teardown(notify=True)
+            else:
+                self.state = TcpState.FIN_WAIT_2
+        elif self.state is TcpState.LAST_ACK:
+            self._teardown(notify=True)
+
+    # ------------------------------------------------------------------
+    # data ingress (receiver side)
+    # ------------------------------------------------------------------
+
+    def _process_incoming_data(self, segment: Segment) -> None:
+        if segment.end_seq <= self._rcv_nxt:
+            # Entirely old (a retransmission we already have): re-ACK.
+            self._send_pure_ack()
+            return
+        if segment.seq > self._rcv_nxt:
+            # A hole precedes this segment: buffer it, emit a dup ACK.
+            self._ooo.setdefault(segment.seq, segment)
+            self._send_pure_ack()
+            return
+        self._absorb_in_order(segment)
+        while self._rcv_nxt in self._ooo:
+            self._absorb_in_order(self._ooo.pop(self._rcv_nxt))
+        self._deliver_completed_messages()
+        self._maybe_transition_on_fin()
+        self._schedule_ack(segment)
+
+    def _absorb_in_order(self, segment: Segment) -> None:
+        delivered = segment.end_seq - self._rcv_nxt
+        payload_delivered = min(segment.payload_bytes, delivered)
+        self._rcv_nxt = segment.end_seq
+        self.bytes_received += payload_delivered
+        for mark in segment.marks:
+            self._recv_marks[mark.end_seq] = mark
+        if segment.fin:
+            self._peer_fin_received = True
+        # Receive-window auto-tuning: grow with delivered data so the
+        # window keeps ahead of a slow-start sender (Section III-C).
+        self._adv_wnd_bytes = min(
+            self._adv_wnd_bytes + 2 * payload_delivered,
+            self._config.rmem_max_bytes,
+        )
+
+    def _deliver_completed_messages(self) -> None:
+        if not self._recv_marks:
+            return
+        ready = sorted(seq for seq in self._recv_marks if seq <= self._rcv_nxt)
+        for seq in ready:
+            mark = self._recv_marks.pop(seq)
+            self.messages_received += 1
+            if self.on_message is not None:
+                self.on_message(self, mark.payload, mark.size_bytes)
+
+    def _maybe_transition_on_fin(self) -> None:
+        if not self._peer_fin_received:
+            return
+        if self.state is TcpState.ESTABLISHED:
+            self.state = TcpState.CLOSE_WAIT
+            if self.close_on_peer_fin:
+                self.close()
+        elif self.state is TcpState.FIN_WAIT_2:
+            self._send_pure_ack()
+            self._teardown(notify=True)
+        elif self.state is TcpState.FIN_WAIT_1 and self._fin_sent:
+            # Simultaneous close: wait for our FIN's ACK in _process_ack.
+            pass
+
+    # ------------------------------------------------------------------
+    # ACK emission
+    # ------------------------------------------------------------------
+
+    def _schedule_ack(self, segment: Segment) -> None:
+        if segment.fin or self._ooo or not self._config.delayed_ack:
+            self._send_pure_ack()
+            return
+        self._segments_since_ack += 1
+        if self._segments_since_ack >= 2:
+            self._send_pure_ack()
+            return
+        if self._delack_event is None:
+            self._delack_event = self._sim.schedule(
+                DELAYED_ACK_TIMEOUT, self._on_delayed_ack_timer
+            )
+
+    def _on_delayed_ack_timer(self) -> None:
+        self._delack_event = None
+        if self._segments_since_ack > 0:
+            self._send_pure_ack()
+
+    def _send_pure_ack(self) -> None:
+        self._cancel_delack()
+        segment = Segment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self._snd_nxt,
+            ack=self._rcv_nxt,
+            is_ack=True,
+            rwnd_bytes=self._adv_wnd_bytes,
+            sack_blocks=self._current_sack_blocks(),
+        )
+        self._emit(segment)
+
+    #: RFC 2018 caps the option at 3-4 blocks; we use 4.
+    MAX_SACK_BLOCKS = 4
+
+    def _current_sack_blocks(self) -> tuple[tuple[int, int], ...]:
+        """Merge the out-of-order store into SACK ranges."""
+        if not self._config.sack or not self._ooo:
+            return ()
+        ranges: list[list[int]] = []
+        for seq in sorted(self._ooo):
+            end = self._ooo[seq].end_seq
+            if ranges and seq <= ranges[-1][1]:
+                ranges[-1][1] = max(ranges[-1][1], end)
+            else:
+                ranges.append([seq, end])
+        # Most recently useful (highest) blocks first, capped.
+        blocks = [(start, end) for start, end in reversed(ranges)]
+        return tuple(blocks[: self.MAX_SACK_BLOCKS])
+
+    def _cancel_delack(self) -> None:
+        self._segments_since_ack = 0
+        if self._delack_event is not None:
+            self._sim.cancel(self._delack_event)
+            self._delack_event = None
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+
+    def _effective_window_bytes(self) -> int:
+        cwnd_segments = self.cc.cwnd_segments + self._recovery_inflation
+        return min(cwnd_segments * self._config.mss, self._peer_rwnd_bytes)
+
+    def _bytes_in_flight(self) -> int:
+        """Outstanding bytes; SACKed data no longer occupies the pipe."""
+        in_flight = self.bytes_unacked
+        if self._config.sack:
+            in_flight -= self._sacked_bytes()
+        return in_flight
+
+    def _try_send(self) -> None:
+        if self.state not in (
+            TcpState.ESTABLISHED,
+            TcpState.CLOSE_WAIT,
+            TcpState.FIN_WAIT_1,
+        ):
+            return
+        self._maybe_restart_after_idle()
+        mss = self._config.mss
+        sent_any = False
+        while self._snd_nxt < self._snd_buf_end:
+            window = self._effective_window_bytes()
+            in_flight = self._bytes_in_flight()
+            available = window - in_flight
+            remaining = self._snd_buf_end - self._snd_nxt
+            size = min(mss, remaining)
+            if available < size:
+                break
+            self._send_data_segment(size)
+            sent_any = True
+        if (
+            self._fin_queued
+            and not self._fin_sent
+            and self._snd_nxt == self._snd_buf_end
+        ):
+            self._send_fin()
+            sent_any = True
+        if sent_any:
+            self._arm_rto_if_unarmed()
+
+    def _maybe_restart_after_idle(self) -> None:
+        """RFC 2861: collapse the window of a long-idle connection back to
+        its initial (route-resolved) value before a fresh burst."""
+        if not self._config.slow_start_after_idle:
+            return
+        if self.bytes_unacked > 0 or self._snd_nxt >= self._snd_buf_end:
+            return
+        if self._snd_nxt <= 1:
+            return  # never sent data; the initial window already applies
+        # Like the kernel's lsndtime check: idleness is measured from our
+        # last transmission, not from the peer's latest packet.
+        idle = self._sim.now - self.last_send_at
+        if idle > self._rtt.rto and self.cc.cwnd > self.cc.initial_cwnd:
+            self.cc.cwnd = float(self.cc.initial_cwnd)
+
+    def _send_data_segment(self, size: int) -> None:
+        seq = self._snd_nxt
+        end = seq + size
+        marks = tuple(
+            mark for mark in self._pending_marks if seq < mark.end_seq <= end
+        )
+        segment = Segment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=seq,
+            ack=self._rcv_nxt,
+            payload_bytes=size,
+            is_ack=True,
+            rwnd_bytes=self._adv_wnd_bytes,
+            marks=marks,
+        )
+        self._snd_nxt = end
+        self._rtx_queue.append(
+            _SentSegment(
+                seq=seq,
+                end_seq=end,
+                payload_bytes=size,
+                syn=False,
+                fin=False,
+                marks=marks,
+                last_sent_at=self._sim.now,
+            )
+        )
+        self._pending_marks = [
+            mark for mark in self._pending_marks if mark.end_seq > end
+        ]
+        self._emit(segment)
+
+    def _send_fin(self) -> None:
+        seq = self._snd_nxt
+        segment = Segment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=seq,
+            ack=self._rcv_nxt,
+            fin=True,
+            is_ack=True,
+            rwnd_bytes=self._adv_wnd_bytes,
+        )
+        self._snd_nxt = seq + 1
+        self._fin_sent = True
+        if self.state in (TcpState.ESTABLISHED,):
+            self.state = TcpState.FIN_WAIT_1
+        elif self.state is TcpState.CLOSE_WAIT:
+            self.state = TcpState.LAST_ACK
+        self._rtx_queue.append(
+            _SentSegment(
+                seq=seq,
+                end_seq=seq + 1,
+                payload_bytes=0,
+                syn=False,
+                fin=True,
+                marks=(),
+                last_sent_at=self._sim.now,
+            )
+        )
+        self._emit(segment)
+        self._arm_rto_if_unarmed()
+
+    def _send_control(self, syn: bool, with_ack: bool) -> None:
+        seq = self._snd_nxt
+        segment = Segment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=seq,
+            ack=self._rcv_nxt if with_ack else 0,
+            syn=syn,
+            is_ack=with_ack,
+            rwnd_bytes=self._adv_wnd_bytes,
+        )
+        if syn:
+            self._snd_nxt = seq + 1
+            self._rtx_queue.append(
+                _SentSegment(
+                    seq=seq,
+                    end_seq=seq + 1,
+                    payload_bytes=0,
+                    syn=True,
+                    fin=False,
+                    marks=(),
+                    last_sent_at=self._sim.now,
+                )
+            )
+        self._emit(segment)
+
+    def _retransmit_head(self) -> None:
+        if not self._rtx_queue:
+            return
+        self._retransmit_entry(self._rtx_queue[0])
+
+    def _retransmit_entry(self, entry: _SentSegment) -> None:
+        entry.retransmitted = True
+        entry.last_sent_at = self._sim.now
+        self.segments_retransmitted += 1
+        with_ack = self.state is not TcpState.SYN_SENT
+        segment = Segment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=entry.seq,
+            ack=self._rcv_nxt if with_ack else 0,
+            payload_bytes=entry.payload_bytes,
+            syn=entry.syn,
+            fin=entry.fin,
+            is_ack=with_ack or (entry.syn and self.state is TcpState.SYN_RCVD),
+            rwnd_bytes=self._adv_wnd_bytes,
+            marks=entry.marks,
+        )
+        self._emit(segment)
+
+    def _emit(self, segment: Segment) -> None:
+        packet = Packet(
+            src=self._host.address,
+            dst=self.remote_address,
+            size_bytes=TCP_HEADER_BYTES + segment.payload_bytes,
+            payload=segment,
+        )
+        self.segments_sent += 1
+        self.last_activity_at = self._sim.now
+        self.last_send_at = self._sim.now
+        self._host.send_packet(packet)
+
+    def _note_peer_window(self, segment: Segment) -> None:
+        if segment.rwnd_bytes > 0:
+            self._peer_rwnd_bytes = segment.rwnd_bytes
+
+    # ------------------------------------------------------------------
+    # RTO timer
+    # ------------------------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        self._rto_event = self._sim.schedule(self._rtt.rto, self._on_rto)
+
+    def _arm_rto_if_unarmed(self) -> None:
+        if self._rto_event is None and self._rtx_queue:
+            self._arm_rto()
+
+    def _rearm_or_cancel_rto(self) -> None:
+        self._cancel_rto()
+        if self._rtx_queue:
+            self._rtt.reset_backoff()
+            self._rto_event = self._sim.schedule(self._rtt.rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._sim.cancel(self._rto_event)
+            self._rto_event = None
+
+    #: Retry limits in the spirit of tcp_syn_retries / tcp_retries2.
+    MAX_SYN_RETRIES = 6
+    MAX_DATA_RETRIES = 15
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if not self._rtx_queue:
+            return
+        self.rtos_fired += 1
+        self._consecutive_rtos += 1
+        self._rtt.back_off()
+        in_handshake = self.state in (TcpState.SYN_SENT, TcpState.SYN_RCVD)
+        retry_limit = self.MAX_SYN_RETRIES if in_handshake else self.MAX_DATA_RETRIES
+        if self._consecutive_rtos > retry_limit:
+            # Give up on an unanswerable peer, like the kernel's
+            # tcp_syn_retries / tcp_retries2 limits.
+            self._error("connect timeout" if in_handshake else "transfer timeout")
+            return
+        self.cc.on_retransmit_timeout(self._sim.now)
+        self._in_recovery = False
+        self._recovery_inflation = 0
+        self._dupacks = 0
+        self._retransmit_head()
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+
+    def _on_reset(self) -> None:
+        self._error("connection reset by peer")
+
+    def _error(self, reason: str) -> None:
+        callback = self.on_error
+        self._teardown(notify=False)
+        if callback is not None:
+            callback(self, reason)
+
+    def _teardown(self, notify: bool) -> None:
+        self.state = TcpState.CLOSED
+        self._cancel_rto()
+        self._cancel_delack()
+        self._rtx_queue.clear()
+        self._ooo.clear()
+        self._host.socket_closed(self)
+        if notify and self.on_closed is not None:
+            self.on_closed(self)
+
+    def __repr__(self) -> str:
+        ssthresh = self.cc.ssthresh
+        ssthresh_text = "inf" if math.isinf(ssthresh) else f"{ssthresh:.0f}"
+        return (
+            f"<TcpSocket {self._host.address}:{self.local_port} -> "
+            f"{self.remote_address}:{self.remote_port} {self.state.value} "
+            f"cwnd={self.cc.cwnd_segments} ssthresh={ssthresh_text}>"
+        )

@@ -1,0 +1,76 @@
+"""TCP segments as they appear on the simulated wire.
+
+Real TCP carries application bytes; this simulation carries byte *counts*
+plus :class:`MessageMark` metadata so the receiving application can learn
+when a logical message (a probe request, a file response) has been fully
+delivered in order — the moment the paper's probes time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class MessageMark:
+    """Marks the last sequence byte of an application message.
+
+    When the receiver's in-order delivery point passes ``end_seq`` the
+    message is complete and ``payload`` is handed to the application.
+    """
+
+    end_seq: int
+    payload: Any
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One TCP segment.
+
+    ``seq`` numbers the first payload byte (or the SYN/FIN itself);
+    ``ack`` is the cumulative acknowledgement, valid when ``is_ack``.
+    ``rwnd_bytes`` is the advertised receive window.
+    """
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    payload_bytes: int = 0
+    syn: bool = False
+    fin: bool = False
+    rst: bool = False
+    is_ack: bool = False
+    rwnd_bytes: int = 0
+    marks: tuple[MessageMark, ...] = field(default=())
+    #: Selective acknowledgement blocks: (start, end) sequence ranges the
+    #: receiver holds above the cumulative ACK (RFC 2018; max 4 blocks).
+    sack_blocks: tuple[tuple[int, int], ...] = field(default=())
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence numbers consumed: payload plus one each for SYN/FIN."""
+        return self.payload_bytes + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def end_seq(self) -> int:
+        """First sequence number *after* this segment."""
+        return self.seq + self.seq_space
+
+    def describe(self) -> str:
+        flags = "".join(
+            token
+            for token, present in (
+                ("S", self.syn),
+                ("F", self.fin),
+                ("R", self.rst),
+                ("A", self.is_ack),
+            )
+            if present
+        )
+        return (
+            f"[{flags or '.'} seq={self.seq} ack={self.ack} "
+            f"len={self.payload_bytes} rwnd={self.rwnd_bytes}]"
+        )

@@ -1,0 +1,116 @@
+"""Tests for CSV export helpers."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis import EmpiricalCdf
+from repro.analysis.export import cdf_to_csv, cdfs_to_csv, rows_to_csv, write_csv
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestRowsToCsv:
+    def test_header_and_rows(self):
+        text = rows_to_csv(("a", "b"), [(1, 2), (3, 4)])
+        parsed = parse(text)
+        assert parsed[0] == ["a", "b"]
+        assert parsed[1] == ["1", "2"]
+        assert len(parsed) == 3
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            rows_to_csv(("a", "b"), [(1,)])
+
+    def test_quoting_of_commas(self):
+        text = rows_to_csv(("x",), [("hello, world",)])
+        assert parse(text)[1] == ["hello, world"]
+
+
+class TestCdfExport:
+    def test_cdf_to_csv_endpoints(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0])
+        parsed = parse(cdf_to_csv(cdf, points=3))
+        assert parsed[0] == ["value", "cumulative_fraction"]
+        assert float(parsed[1][0]) == 1.0
+        assert float(parsed[-1][0]) == 3.0
+        assert float(parsed[-1][1]) == 1.0
+
+    def test_cdfs_to_csv_long_format(self):
+        text = cdfs_to_csv(
+            {"a": EmpiricalCdf([1.0, 2.0]), "b": EmpiricalCdf([5.0, 6.0])},
+            points=2,
+        )
+        parsed = parse(text)
+        assert parsed[0] == ["series", "value", "cumulative_fraction"]
+        series = {row[0] for row in parsed[1:]}
+        assert series == {"a", "b"}
+        assert len(parsed) == 1 + 2 * 2
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            cdfs_to_csv({})
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), rows_to_csv(("a",), [(1,)]))
+        assert path.read_text().startswith("a\n")
+
+
+class TestTransferTrace:
+    def test_records_transfers(self):
+        from repro.cdn.trace import TransferTrace
+        from repro.cdn.transfer import TransferClient, TransferServer
+        from repro.testing import TwoHostTestbed
+
+        bed = TwoHostTestbed(rtt=0.050)
+        TransferServer(bed.server)
+        client = TransferClient(bed.client)
+        trace = TransferTrace()
+        trace.attach(client, source_label="test-client")
+        client.fetch(bed.server.address, 10_000)
+        client.fetch(bed.server.address, 20_000)
+        bed.sim.run(until=5.0)
+        assert len(trace.completed()) == 2
+        assert trace.completion_times(size_bytes=10_000)
+        record = trace.records[0]
+        assert record.source == "test-client"
+        assert record.initial_cwnd == 10
+
+    def test_records_failures(self):
+        from repro.cdn.trace import TransferTrace
+        from repro.cdn.transfer import TransferClient, TransferServer
+        from repro.testing import TwoHostTestbed
+
+        bed = TwoHostTestbed(rtt=0.050)
+        TransferServer(bed.server)
+        client = TransferClient(bed.client)
+        trace = TransferTrace()
+        trace.attach(client)
+        client.fetch(bed.server.address, 500_000)
+        bed.sim.run(until=0.3)
+        for sock in bed.client.sockets():
+            sock.abort()
+        bed.sim.run(until=2.0)
+        assert len(trace.failed()) == 1
+        assert trace.failed()[0].failed_reason
+
+    def test_csv_round_trip(self):
+        from repro.cdn.trace import TransferTrace
+        from repro.cdn.transfer import TransferClient, TransferServer
+        from repro.testing import TwoHostTestbed
+
+        bed = TwoHostTestbed(rtt=0.050)
+        TransferServer(bed.server)
+        client = TransferClient(bed.client)
+        trace = TransferTrace()
+        trace.attach(client)
+        client.fetch(bed.server.address, 10_000)
+        bed.sim.run(until=5.0)
+        parsed = parse(trace.to_csv())
+        assert parsed[0] == list(TransferTrace.CSV_HEADERS)
+        assert len(parsed) == 2
+        assert parsed[1][3] == "10000"

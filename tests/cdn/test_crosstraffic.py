@@ -1,0 +1,140 @@
+"""Tests for cross-traffic congestion and Riptide's adaptation to it."""
+
+import pytest
+
+from repro.cdn.crosstraffic import CrossTraffic
+from repro.core import RiptideAgent, RiptideConfig
+from repro.net import Prefix
+from repro.tcp import TcpConfig
+from repro.testing import TwoHostTestbed, request_response
+
+
+def make_testbed(bandwidth_bps=100e6, queue=64):
+    bed = TwoHostTestbed(
+        rtt=0.080,
+        bandwidth_bps=bandwidth_bps,
+        queue_limit_packets=queue,
+        client_config=TcpConfig(default_initrwnd=300),
+        server_config=TcpConfig(default_initrwnd=300),
+    )
+    bed.serve_echo()
+    return bed
+
+
+class TestCrossTraffic:
+    def test_occupies_the_link(self, sim):
+        from repro.net.link import Link
+
+        link = Link(sim, bandwidth_bps=10e6, propagation_delay=0.001)
+        source = CrossTraffic(sim, link, rate_bps=5e6)
+        source.start()
+        sim.run(until=1.0)
+        # 5 Mbps of 1500 B packets for 1 s is ~416 packets.
+        assert 380 < source.packets_offered < 450
+        assert link.stats.bytes_offered > 500_000
+
+    def test_stop_halts_emission(self, sim):
+        from repro.net.link import Link
+
+        link = Link(sim, bandwidth_bps=10e6, propagation_delay=0.001)
+        source = CrossTraffic(sim, link, rate_bps=5e6)
+        source.start()
+        sim.run(until=0.5)
+        source.stop()
+        offered = source.packets_offered
+        sim.run(until=2.0)
+        assert source.packets_offered == offered
+
+    def test_invalid_rate_rejected(self, sim):
+        from repro.net.link import Link
+
+        link = Link(sim, bandwidth_bps=10e6, propagation_delay=0.001)
+        with pytest.raises(ValueError):
+            CrossTraffic(sim, link, rate_bps=0)
+
+    def test_congestion_slows_transfers(self):
+        clean = make_testbed()
+        clean_time = request_response(clean, response_bytes=500_000).total_time
+
+        congested = make_testbed()
+        # Saturate 92% of the response direction.
+        source = CrossTraffic(
+            congested.sim, congested.trunk.reverse, rate_bps=92e6
+        )
+        source.start()
+        congested.sim.run(until=congested.sim.now + 0.5)
+        congested_time = request_response(
+            congested, response_bytes=500_000, deadline=120.0
+        ).total_time
+        assert congested_time > clean_time * 1.3
+
+    def test_congestion_causes_queue_drops_for_bursts(self):
+        bed = make_testbed(queue=32)
+        source = CrossTraffic(bed.sim, bed.trunk.reverse, rate_bps=95e6)
+        source.start()
+        bed.sim.run(until=0.5)
+        bed.server.ip.route_replace("10.0.0.0/24", initcwnd=200)
+        result = request_response(bed, response_bytes=400_000, deadline=120.0)
+        assert result.completed
+        assert bed.trunk.reverse.stats.packets_dropped_queue > 0
+
+
+class TestRiptideAdaptsToCongestion:
+    def test_learned_window_shrinks_under_congestion(self):
+        """The paper's adaptivity claim, end to end: a congestion episode
+        shrinks live windows, and Riptide's learned value follows."""
+        bed = make_testbed(bandwidth_bps=50e6, queue=48)
+        agent = RiptideAgent(
+            bed.server, RiptideConfig(update_interval=0.25, alpha=0.5, c_max=500)
+        )
+        agent.start()
+        key = Prefix.host(bed.client.address)
+
+        # Clean period: learn a healthy window.
+        request_response(bed, response_bytes=1_500_000, deadline=60.0)
+        bed.sim.run(until=bed.sim.now + 1.0)
+        healthy = agent.learned_window_for(key)
+        assert healthy is not None and healthy > 30
+
+        # Congestion episode: 90% of the data direction consumed.
+        source = CrossTraffic(bed.sim, bed.trunk.reverse, rate_bps=45e6)
+        source.start()
+        for _ in range(3):
+            request_response(bed, response_bytes=400_000, deadline=120.0)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        congested = agent.learned_window_for(key)
+        assert congested is not None
+        assert congested < healthy
+
+    def test_window_recovers_after_congestion_clears(self):
+        # A deep buffer (>= BDP) so the clean path can carry big windows.
+        bed = make_testbed(bandwidth_bps=50e6, queue=512)
+        agent = RiptideAgent(
+            bed.server, RiptideConfig(update_interval=0.25, alpha=0.3, c_max=500)
+        )
+        agent.start()
+        key = Prefix.host(bed.client.address)
+
+        def drain_connections():
+            for sock in list(bed.client.sockets()) + list(bed.server.sockets()):
+                sock.abort()
+            bed.sim.run(until=bed.sim.now + 0.5)
+
+        # Severe congestion episode: 96% of the data direction consumed.
+        source = CrossTraffic(bed.sim, bed.trunk.reverse, rate_bps=48e6)
+        source.start()
+        for _ in range(2):
+            request_response(bed, response_bytes=150_000, deadline=120.0)
+            bed.sim.run(until=bed.sim.now + 0.5)
+        congested = agent.learned_window_for(key)
+        assert congested is not None
+
+        # Congestion clears; stale collapsed connections retire with it.
+        source.stop()
+        drain_connections()
+        for _ in range(3):
+            request_response(bed, response_bytes=1_500_000, deadline=60.0)
+            bed.sim.run(until=bed.sim.now + 0.5)
+        recovered = agent.learned_window_for(key)
+        assert recovered is not None
+        assert recovered > congested

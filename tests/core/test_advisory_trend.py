@@ -1,0 +1,174 @@
+"""Tests for the Section V extensions: advisories and trend detection."""
+
+import pytest
+
+from repro.core import Advisory, AdvisoryController, RiptideAgent, RiptideConfig, TrendDetector
+from repro.net import Prefix
+from repro.tcp import TcpConfig
+from repro.testing import TwoHostTestbed, request_response
+
+
+class TestAdvisoryController:
+    def test_no_advisories_means_full_scale(self):
+        assert AdvisoryController().scale_at(0.0) == 1.0
+
+    def test_active_advisory_scales(self):
+        controller = AdvisoryController()
+        controller.advise(scale=0.5, duration=10.0, now=0.0)
+        assert controller.scale_at(5.0) == 0.5
+
+    def test_advisory_expires(self):
+        controller = AdvisoryController()
+        controller.advise(scale=0.5, duration=10.0, now=0.0)
+        assert controller.scale_at(10.0) == 1.0
+
+    def test_most_conservative_wins(self):
+        controller = AdvisoryController()
+        controller.advise(scale=0.8, duration=10.0, now=0.0)
+        controller.advise(scale=0.4, duration=10.0, now=0.0)
+        assert controller.scale_at(1.0) == 0.4
+
+    def test_clear(self):
+        controller = AdvisoryController()
+        controller.advise(scale=0.5, duration=10.0, now=0.0)
+        controller.clear()
+        assert controller.scale_at(1.0) == 1.0
+
+    def test_active_advisories_listing(self):
+        controller = AdvisoryController()
+        controller.advise(scale=0.5, duration=10.0, now=0.0, reason="lb-shift")
+        active = controller.active_advisories(5.0)
+        assert len(active) == 1
+        assert active[0].reason == "lb-shift"
+
+    @pytest.mark.parametrize("scale", [0.0, -0.5, 1.5])
+    def test_invalid_scale_rejected(self, scale):
+        with pytest.raises(ValueError):
+            Advisory(scale=scale, until=10.0)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            AdvisoryController().advise(scale=0.5, duration=0.0, now=0.0)
+
+
+class TestTrendDetector:
+    def test_steady_values_no_penalty(self):
+        detector = TrendDetector(drop_threshold=0.5)
+        assert detector.observe("d", 100.0, now=0.0) == 1.0
+        assert detector.observe("d", 95.0, now=1.0) == 1.0
+        assert detector.triggers == 0
+
+    def test_collapse_triggers_penalty(self):
+        detector = TrendDetector(drop_threshold=0.5, penalty=0.5, hold=10.0)
+        detector.observe("d", 100.0, now=0.0)
+        assert detector.observe("d", 20.0, now=1.0) == 0.5
+        assert detector.triggers == 1
+        assert detector.in_penalty("d", 5.0)
+
+    def test_penalty_expires_after_hold(self):
+        detector = TrendDetector(drop_threshold=0.5, penalty=0.5, hold=10.0)
+        detector.observe("d", 100.0, now=0.0)
+        detector.observe("d", 20.0, now=1.0)
+        assert detector.observe("d", 21.0, now=12.0) == 1.0
+        assert not detector.in_penalty("d", 12.0)
+
+    def test_keys_independent(self):
+        detector = TrendDetector()
+        detector.observe("a", 100.0, now=0.0)
+        detector.observe("a", 10.0, now=1.0)
+        assert detector.observe("b", 10.0, now=1.0) == 1.0
+
+    def test_forget(self):
+        detector = TrendDetector()
+        detector.observe("d", 100.0, now=0.0)
+        detector.observe("d", 10.0, now=1.0)
+        detector.forget("d")
+        assert detector.observe("d", 10.0, now=2.0) == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop_threshold": 0.0},
+            {"drop_threshold": 1.0},
+            {"penalty": 0.0},
+            {"penalty": 1.5},
+            {"hold": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrendDetector(**kwargs)
+
+
+def make_testbed():
+    bed = TwoHostTestbed(
+        rtt=0.080,
+        client_config=TcpConfig(default_initrwnd=300),
+        server_config=TcpConfig(default_initrwnd=300),
+    )
+    bed.serve_echo()
+    return bed
+
+
+class TestAgentIntegration:
+    def test_advisory_scales_installed_windows(self):
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        request_response(bed, response_bytes=1_000_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        key = Prefix.host(bed.client.address)
+        unscaled = agent.learned_window_for(key)
+        assert unscaled == 100  # clamped at c_max
+
+        agent.advise_conservative(scale=0.5, duration=30.0, reason="lb")
+        bed.sim.run(until=bed.sim.now + 2.0)
+        scaled = agent.learned_window_for(key)
+        assert scaled == 50
+        assert agent.current_advisory_scale() == 0.5
+
+    def test_advisory_expiry_restores_windows(self):
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        request_response(bed, response_bytes=1_000_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        agent.advise_conservative(scale=0.5, duration=1.0)
+        bed.sim.run(until=bed.sim.now + 3.0)
+        key = Prefix.host(bed.client.address)
+        assert agent.learned_window_for(key) == 100
+        assert agent.current_advisory_scale() == 1.0
+
+    def test_trend_detection_penalises_collapse(self):
+        bed = make_testbed()
+        config = RiptideConfig(
+            update_interval=0.5,
+            history="none",  # isolate the trend mechanism
+            trend_detection=True,
+            trend_drop_threshold=0.5,
+            trend_penalty=0.5,
+            # The helper runs a full 60 s deadline after each exchange, so
+            # the hold must outlive that for the final assertion.
+            trend_hold=240.0,
+        )
+        agent = RiptideAgent(bed.server, config)
+        agent.start()
+        # Grow a fat window, then replace it with a tiny connection.
+        first = request_response(bed, response_bytes=1_000_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        first.socket.close()
+        bed.sim.run(until=bed.sim.now + 1.0)
+        request_response(bed, response_bytes=2_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        key = Prefix.host(bed.client.address)
+        assert agent.trend_detector is not None
+        assert agent.trend_detector.triggers >= 1
+        # With history=none the learned value would be ~10; the penalty
+        # halves it further, but c_min clamps at 10 — so assert via the
+        # detector state rather than the clamped value.
+        assert agent.trend_detector.in_penalty(key, bed.sim.now)
+
+    def test_trend_disabled_by_default(self):
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig())
+        assert agent.trend_detector is None

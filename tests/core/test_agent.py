@@ -1,0 +1,199 @@
+"""Integration tests for the Riptide agent (Algorithm 1) on live hosts."""
+
+import pytest
+
+from repro.core import RiptideAgent, RiptideConfig
+from repro.net import Prefix
+from repro.tcp import TcpConfig
+from repro.testing import TwoHostTestbed, request_response
+
+RTT = 0.100
+
+
+def make_testbed():
+    bed = TwoHostTestbed(
+        rtt=RTT,
+        client_config=TcpConfig(default_initrwnd=300),
+        server_config=TcpConfig(default_initrwnd=300),
+    )
+    bed.serve_echo()
+    return bed
+
+
+class TestLearningLoop:
+    def test_agent_learns_from_open_connection(self):
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        # A large transfer grows the server-side window well past 10.
+        request_response(bed, response_bytes=500_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        key = Prefix.host(bed.client.address)
+        learned = agent.learned_window_for(key)
+        assert learned is not None
+        assert learned > 10
+
+    def test_learned_route_installed_in_fib(self):
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        request_response(bed, response_bytes=500_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        route = bed.server.ip.route_get(bed.client.address)
+        assert route is not None
+        assert route.initcwnd == agent.learned_window_for(
+            Prefix.host(bed.client.address)
+        )
+
+    def test_next_connection_starts_at_learned_window(self):
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        cold = request_response(bed, response_bytes=300_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        bed.client.sockets()[0].close() if bed.client.sockets() else None
+        bed.sim.run(until=bed.sim.now + 1.0)
+        warm = request_response(bed, response_bytes=300_000)
+        assert warm.total_time < cold.total_time
+
+    def test_clamping_applies(self):
+        bed = make_testbed()
+        agent = RiptideAgent(
+            bed.server, RiptideConfig(update_interval=0.5, c_max=25, c_min=10)
+        )
+        agent.start()
+        request_response(bed, response_bytes=1_000_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        learned = agent.learned_window_for(Prefix.host(bed.client.address))
+        assert learned == 25  # clamped despite a much larger live window
+
+    def test_c_min_floor(self):
+        bed = make_testbed()
+        agent = RiptideAgent(
+            bed.server, RiptideConfig(update_interval=0.5, c_min=15, c_max=100)
+        )
+        agent.start()
+        request_response(bed, response_bytes=5_000)  # tiny transfer, cwnd ~10
+        bed.sim.run(until=bed.sim.now + 2.0)
+        learned = agent.learned_window_for(Prefix.host(bed.client.address))
+        assert learned is not None
+        assert learned >= 15
+
+
+class TestTtlExpiry:
+    def test_route_expires_after_ttl(self):
+        bed = make_testbed()
+        agent = RiptideAgent(
+            bed.server, RiptideConfig(update_interval=0.5, ttl=3.0)
+        )
+        agent.start()
+        request_response(bed, response_bytes=300_000)
+        bed.sim.run(until=bed.sim.now + 1.0)
+        assert bed.server.ip.route_get(bed.client.address) is not None
+        # Close everything; with no connections the entry must expire.
+        for sock in list(bed.client.sockets()) + list(bed.server.sockets()):
+            sock.abort()
+        bed.sim.run(until=bed.sim.now + 5.0)
+        assert bed.server.ip.route_get(bed.client.address) is None
+        assert agent.stats.routes_expired >= 1
+
+    def test_expiry_restores_default_initcwnd(self):
+        bed = make_testbed()
+        agent = RiptideAgent(
+            bed.server, RiptideConfig(update_interval=0.5, ttl=3.0)
+        )
+        agent.start()
+        request_response(bed, response_bytes=300_000)
+        bed.sim.run(until=bed.sim.now + 1.0)
+        for sock in list(bed.client.sockets()) + list(bed.server.sockets()):
+            sock.abort()
+        bed.sim.run(until=bed.sim.now + 5.0)
+        assert bed.server.initcwnd_for(bed.client.address) == 10
+
+    def test_activity_keeps_entry_alive(self):
+        bed = make_testbed()
+        agent = RiptideAgent(
+            bed.server, RiptideConfig(update_interval=0.5, ttl=3.0)
+        )
+        agent.start()
+        request_response(bed, response_bytes=300_000)
+        # Connection stays open and established: entry must survive > ttl.
+        bed.sim.run(until=bed.sim.now + 10.0)
+        assert bed.server.ip.route_get(bed.client.address) is not None
+
+
+class TestAgentLifecycle:
+    def test_stop_removes_routes(self):
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        request_response(bed, response_bytes=300_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        assert len(bed.server.route_table) == 1
+        agent.stop()
+        assert len(bed.server.route_table) == 0
+        assert not agent.running
+
+    def test_stop_can_keep_routes(self):
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        request_response(bed, response_bytes=300_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        agent.stop(remove_routes=False)
+        assert len(bed.server.route_table) == 1
+
+    def test_stats_track_operation(self):
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        request_response(bed, response_bytes=300_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        assert agent.stats.polls > 0
+        assert agent.stats.connections_observed > 0
+        assert agent.stats.routes_installed >= 1
+
+    def test_window_history_recording(self):
+        bed = make_testbed()
+        agent = RiptideAgent(
+            bed.server,
+            RiptideConfig(update_interval=0.5),
+            record_window_history=True,
+        )
+        agent.start()
+        request_response(bed, response_bytes=300_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        assert len(agent.stats.window_history) > 0
+
+
+class TestGranularityIntegration:
+    def test_prefix_route_covers_whole_zone(self):
+        bed = make_testbed()
+        agent = RiptideAgent(
+            bed.server,
+            RiptideConfig(update_interval=0.5, granularity="prefix", prefix_length=24),
+        )
+        agent.start()
+        request_response(bed, response_bytes=300_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        # The learned route is 10.0.0.0/24, so any host in the client
+        # zone resolves to the learned window.
+        from repro.net import IPv4Address
+
+        other_host = IPv4Address("10.0.0.99")
+        assert bed.server.initcwnd_for(other_host) > 10
+
+    def test_ewma_converges_upward_over_ticks(self):
+        bed = make_testbed()
+        agent = RiptideAgent(
+            bed.server,
+            RiptideConfig(update_interval=0.25, alpha=0.7),
+            record_window_history=True,
+        )
+        agent.start()
+        request_response(bed, response_bytes=1_000_000)
+        bed.sim.run(until=bed.sim.now + 5.0)
+        windows = [w for _, w in agent.stats.window_history]
+        # The EWMA walks up toward the observed large window.
+        assert windows[-1] >= windows[0]
+        assert windows[-1] > 10

@@ -1,0 +1,123 @@
+"""Tests for the model-based experiment harnesses (Figures 2-6, Table II)."""
+
+import pytest
+
+from repro.experiments import (
+    fig02_filesizes,
+    fig03_rtt_cdf,
+    fig04_theoretical_gain,
+    fig05_rtt_distribution,
+    fig06_transfer_time_model,
+    table2_pops,
+)
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig02_filesizes.run(samples=50_000)
+
+    def test_paper_anchor_54_percent(self, result):
+        assert result.fraction_exceeding_default_window == pytest.approx(
+            0.54, abs=0.02
+        )
+
+    def test_sampled_matches_analytic(self, result):
+        assert result.fraction_exceeding_default_window == pytest.approx(
+            result.analytic_fraction_exceeding, abs=0.01
+        )
+
+    def test_report_mentions_anchor(self, result):
+        assert "54%" in result.report()
+
+
+class TestFig03:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig03_rtt_cdf.run(samples=50_000)
+
+    def test_iw50_anchor(self, result):
+        assert result.extra_first_rtt_at_50 == pytest.approx(0.31, abs=0.03)
+
+    def test_iw100_anchor(self, result):
+        assert result.not_first_rtt_at_100 == pytest.approx(0.15, abs=0.02)
+
+    def test_fractions_monotone_in_window(self, result):
+        one_rtt = [result.fraction_within(iw, 1) for iw in (10, 25, 50, 100)]
+        assert one_rtt == sorted(one_rtt)
+
+    def test_fractions_monotone_in_rtts(self, result):
+        by_rtts = [result.fraction_within(10, r) for r in (1, 2, 3, 4)]
+        assert by_rtts == sorted(by_rtts)
+
+    def test_report_renders(self, result):
+        assert "initcwnd" in result.report()
+
+
+class TestFig04:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig04_theoretical_gain.run()
+
+    def test_no_gain_below_default_window(self, result):
+        assert result.gain_at(100, 10_000) == 0.0
+
+    def test_gain_region_15kb_to_1mb(self, result):
+        """Paper: primary improvements between 15 KB and 1000 KB."""
+        assert result.gain_at(100, 100_000) >= 0.5
+        assert result.gain_at(100, 500_000) >= 0.4
+
+    def test_gain_diminishes_for_large_files(self, result):
+        assert result.gain_at(100, 30_000_000) < result.peak_gain(100)
+
+    def test_larger_windows_gain_at_least_as_much_at_peak(self, result):
+        assert result.peak_gain(100) >= result.peak_gain(50) >= result.peak_gain(25)
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(ValueError):
+            fig04_theoretical_gain.run(points=1)
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig05_rtt_distribution.run()
+
+    def test_median_over_125ms(self, result):
+        """The paper's headline anchor for Figure 5."""
+        assert result.cdf.median > 0.125
+
+    def test_about_half_of_pairs_over_125ms(self, result):
+        assert 0.4 <= result.fraction_over_125ms <= 0.75
+
+    def test_population_is_all_pairs(self, result):
+        assert len(result.cdf) == 34 * 33 // 2
+
+
+class TestFig06:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig06_transfer_time_model.run()
+
+    def test_median_penalty_anchor(self, result):
+        """Paper: median IW10 transfer is >280 ms slower than IW100."""
+        assert result.median_penalty_vs_100() > 0.280
+
+    def test_larger_windows_never_slower(self, result):
+        for p in (0.25, 0.5, 0.75, 0.9):
+            times = [result.cdfs[iw].quantile(p) for iw in (10, 25, 50, 100)]
+            assert times == sorted(times, reverse=True)
+
+    def test_p90_penalty_positive(self, result):
+        assert result.p90_penalty_vs_100() > 0.0
+
+
+class TestTable2:
+    def test_census_matches_paper(self):
+        result = table2_pops.run()
+        assert result.matches_paper
+        assert result.total == 34
+
+    def test_report_lists_continents(self):
+        report = table2_pops.run().report()
+        assert "Europe" in report and "Oceania" in report

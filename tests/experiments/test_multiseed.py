@@ -1,0 +1,71 @@
+"""Tests for the multi-seed sweep helper."""
+
+import pytest
+
+from repro.experiments.multiseed import SeedSweepResult, sweep_seeds
+
+
+class TestSweepSeeds:
+    def test_runs_metric_per_seed(self):
+        result = sweep_seeds("double", [1, 2, 3], lambda seed: seed * 2.0)
+        assert result.values == (2.0, 4.0, 6.0)
+        assert result.seeds == (1, 2, 3)
+
+    def test_summary_statistics(self):
+        result = sweep_seeds("m", [1, 2, 3], lambda s: float(s))
+        assert result.mean == pytest.approx(2.0)
+        assert result.min == 1.0
+        assert result.max == 3.0
+        assert result.stdev == pytest.approx(1.0)
+
+    def test_single_seed_stdev_zero(self):
+        result = sweep_seeds("m", [7], lambda s: 3.0)
+        assert result.stdev == 0.0
+
+    def test_all_within(self):
+        result = sweep_seeds("m", [1, 2], lambda s: float(s))
+        assert result.all_within(0.5, 2.5)
+        assert not result.all_within(1.5, 2.5)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_seeds("m", [], lambda s: 0.0)
+
+    def test_report_mentions_everything(self):
+        report = sweep_seeds("metric-x", [1, 2], lambda s: float(s)).report()
+        assert "metric-x" in report
+        assert "mean=" in report
+        assert "seed 1" in report
+
+
+class TestStabilityOfHeadlineResult:
+    """The quickstart gain holds across seeds, not just the default one."""
+
+    @staticmethod
+    def cold_gain(seed: int) -> float:
+        from repro.core import RiptideAgent, RiptideConfig
+        from repro.tcp import TcpConfig
+        from repro.testing import TwoHostTestbed, request_response
+
+        bed = TwoHostTestbed(
+            rtt=0.100,
+            seed=seed,
+            client_config=TcpConfig(default_initrwnd=300),
+            server_config=TcpConfig(default_initrwnd=300),
+        )
+        bed.serve_echo()
+        cold = request_response(bed, response_bytes=100_000)
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        request_response(bed, response_bytes=1_000_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        for sock in list(bed.client.sockets()):
+            sock.close()
+        bed.sim.run(until=bed.sim.now + 1.0)
+        warm = request_response(bed, response_bytes=100_000)
+        return 1.0 - warm.total_time / cold.total_time
+
+    def test_gain_stable_across_seeds(self):
+        result = sweep_seeds("cold-100KB-gain", [1, 2, 3, 4], self.cold_gain)
+        assert result.all_within(0.3, 0.7)
+        assert result.stdev < 0.1

@@ -1,0 +1,101 @@
+"""Tests for the reboot failure case (Section II-A).
+
+"Simple procedures that close all connections to a node (e.g., rebooting
+to apply updates) lose not only local connection information, but
+eliminate all information about the node on remote machines."
+"""
+
+import pytest
+
+from repro.core import RiptideAgent, RiptideConfig
+from repro.net import Prefix
+from repro.tcp import TcpConfig
+from repro.testing import TwoHostTestbed, request_response
+
+
+def make_testbed():
+    bed = TwoHostTestbed(
+        rtt=0.080,
+        client_config=TcpConfig(default_initrwnd=300),
+        server_config=TcpConfig(default_initrwnd=300),
+    )
+    bed.serve_echo()
+    return bed
+
+
+class TestReboot:
+    def test_reboot_clears_sockets_and_routes(self):
+        bed = make_testbed()
+        request_response(bed, response_bytes=50_000)
+        bed.server.ip.route_replace("10.0.0.0/24", initcwnd=50)
+        assert bed.server.socket_count() == 1
+        bed.server.reboot()
+        assert bed.server.socket_count() == 0
+        assert len(bed.server.route_table) == 0
+        assert bed.server.reboots == 1
+
+    def test_listeners_survive_reboot(self):
+        bed = make_testbed()
+        bed.server.reboot()
+        # Services restart with the machine: new connections succeed.
+        result = request_response(bed, response_bytes=10_000)
+        assert result.completed
+
+    def test_peer_discovers_death_via_timers(self):
+        bed = make_testbed()
+        errors = []
+        sock = bed.client.connect(
+            bed.server.address, 80, on_error=lambda s, reason: errors.append(reason)
+        )
+        bed.sim.run(until=1.0)
+        bed.server.reboot()
+        # The client sends into the void; retransmissions back off to the
+        # 120 s RTO cap before the tcp_retries2-style limit gives up.
+        sock.send_message(("get", 10_000), 200)
+        bed.sim.run(until=bed.sim.now + 2000.0)
+        assert sock.is_closed
+        assert errors and "timeout" in errors[0]
+
+    def test_riptide_state_lost_and_relearned(self):
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        request_response(bed, response_bytes=500_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        key = Prefix.host(bed.client.address)
+        assert agent.learned_window_for(key) > 10
+
+        bed.server.reboot()
+        # Operational reality: the agent restarts with the machine.
+        agent.stop(remove_routes=False)
+        fresh_agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        fresh_agent.start()
+        assert fresh_agent.learned_window_for(key) is None
+        assert bed.server.initcwnd_for(bed.client.address) == 10
+
+        # New traffic re-teaches the path.
+        request_response(bed, response_bytes=500_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        assert fresh_agent.learned_window_for(key) > 10
+
+    def test_remote_entries_about_rebooted_node_expire(self):
+        """The *client's* agent loses what it knew about the rebooted
+        server once its connections die and the TTL lapses."""
+        bed = make_testbed()
+        client_agent = RiptideAgent(
+            bed.client, RiptideConfig(update_interval=0.5, ttl=3.0)
+        )
+        client_agent.start()
+        request_response(bed, response_bytes=200_000)
+        bed.sim.run(until=bed.sim.now + 1.0)
+        key = Prefix.host(bed.server.address)
+        assert client_agent.learned_window_for(key) is not None
+
+        bed.server.reboot()
+        # The client's socket lingers established (nothing in flight), so
+        # close it as an application eventually would, then let TTL lapse.
+        for sock in list(bed.client.sockets()):
+            sock.vanish()
+        bed.sim.run(until=bed.sim.now + 6.0)
+        assert client_agent.learned_window_for(key) is None
+        assert bed.client.initcwnd_for(bed.server.address) == 10

@@ -1,0 +1,151 @@
+"""Unit tests for the ip/ss tool façades and sysctl."""
+
+import pytest
+
+from repro.linux import Host, Sysctl
+from repro.net import IPv4Address, Prefix
+from repro.tcp import TcpConfig
+from repro.testing import TwoHostTestbed, request_response
+
+
+@pytest.fixture
+def host(testbed):
+    return testbed.client
+
+
+class TestIpRouteTool:
+    def test_route_add_paper_example(self, host):
+        """Figure 8: ip route add 10.0.0.127 ... initcwnd 80."""
+        host.ip.route_add("10.0.0.127", initcwnd=80)
+        route = host.ip.route_get("10.0.0.127")
+        assert route is not None
+        assert route.initcwnd == 80
+        assert route.prefix.length == 32
+
+    def test_route_add_duplicate_rejected(self, host):
+        host.ip.route_add("10.0.0.127", initcwnd=80)
+        with pytest.raises(KeyError):
+            host.ip.route_add("10.0.0.127", initcwnd=90)
+
+    def test_route_replace_upserts(self, host):
+        host.ip.route_replace("10.0.0.127", initcwnd=80)
+        host.ip.route_replace("10.0.0.127", initcwnd=95)
+        assert host.ip.route_get("10.0.0.127").initcwnd == 95
+
+    def test_route_del(self, host):
+        host.ip.route_replace("10.0.0.127", initcwnd=80)
+        host.ip.route_del("10.0.0.127")
+        assert host.ip.route_get("10.0.0.127") is None
+
+    def test_route_del_missing_raises(self, host):
+        with pytest.raises(KeyError):
+            host.ip.route_del("10.0.0.127")
+
+    def test_route_show_renders_lines(self, host):
+        host.ip.route_replace("10.1.0.0/24", initcwnd=60, initrwnd=120)
+        lines = host.ip.route_show()
+        assert any("initcwnd 60" in line and "initrwnd 120" in line for line in lines)
+
+    def test_accepts_prefix_objects(self, host):
+        host.ip.route_replace(Prefix.parse("10.1.0.0/24"), initcwnd=33)
+        assert host.initcwnd_for(IPv4Address("10.1.0.9")) == 33
+
+    def test_accepts_address_objects(self, host):
+        host.ip.route_replace(IPv4Address("10.1.0.9"), initcwnd=44)
+        assert host.initcwnd_for(IPv4Address("10.1.0.9")) == 44
+        assert host.initcwnd_for(IPv4Address("10.1.0.10")) == 10
+
+    def test_commands_counted(self, host):
+        host.ip.route_replace("10.0.0.127", initcwnd=80)
+        host.ip.route_del("10.0.0.127")
+        assert host.ip.commands_issued == 2
+
+
+class TestSsTool:
+    def test_reports_established_connections(self, testbed):
+        request_response(testbed, response_bytes=5000)
+        infos = testbed.client.ss.tcp_info()
+        assert len(infos) == 1
+        assert infos[0].remote_address == testbed.server.address
+        assert infos[0].cwnd >= 1
+
+    def test_outgoing_only_filter(self, testbed):
+        request_response(testbed, response_bytes=5000)
+        assert len(testbed.client.ss.tcp_info(outgoing_only=True)) == 1
+        assert len(testbed.server.ss.tcp_info(outgoing_only=True)) == 0
+
+    def test_created_after_filter(self, testbed):
+        request_response(testbed, response_bytes=5000)
+        now = testbed.sim.now
+        assert testbed.client.ss.tcp_info(created_after=now + 1) == []
+        assert len(testbed.client.ss.tcp_info(created_after=0.0)) == 1
+
+    def test_cwnd_reflects_growth(self, testbed):
+        request_response(testbed, response_bytes=200_000)
+        server_info = testbed.server.ss.tcp_info()
+        assert server_info[0].cwnd > 10  # slow start grew past IW10
+
+    def test_format_lines(self, testbed):
+        request_response(testbed, response_bytes=5000)
+        lines = testbed.client.ss.format_lines()
+        assert len(lines) == 1
+        assert "cwnd:" in lines[0]
+
+    def test_poll_counter(self, testbed):
+        testbed.client.ss.tcp_info()
+        testbed.client.ss.tcp_info()
+        assert testbed.client.ss.polls == 2
+
+
+class TestSysctl:
+    def test_defaults_match_linux(self):
+        sysctl = Sysctl()
+        assert sysctl.get("net.ipv4.tcp_initcwnd_default") == 10
+        assert sysctl.get("net.ipv4.tcp_congestion_control") == "cubic"
+
+    def test_set_produces_new_config(self):
+        sysctl = Sysctl()
+        sysctl.set("net.ipv4.tcp_initrwnd_default", 256)
+        assert sysctl.config.default_initrwnd == 256
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            Sysctl().get("net.ipv4.nonsense")
+
+    def test_dump_lists_all(self):
+        dump = Sysctl().dump()
+        assert "net.ipv4.tcp_congestion_control" in dump
+        assert len(dump) == len(Sysctl().names())
+
+    def test_invalid_value_rejected_via_config_validation(self):
+        sysctl = Sysctl()
+        with pytest.raises(ValueError):
+            sysctl.set("net.ipv4.tcp_initcwnd_default", 0)
+
+
+class TestHost:
+    def test_ephemeral_ports_unique(self, testbed):
+        first = testbed.client.connect(testbed.server.address, 80)
+        second = testbed.client.connect(testbed.server.address, 80)
+        assert first.local_port != second.local_port
+
+    def test_initcwnd_for_uses_config_default(self, testbed):
+        assert testbed.client.initcwnd_for(testbed.server.address) == 10
+
+    def test_initrwnd_route_override(self, testbed):
+        testbed.client.ip.route_replace("10.1.0.0/24", initrwnd=200)
+        assert testbed.client.initrwnd_for(testbed.server.address) == 200
+
+    def test_unmatched_packets_counted(self, testbed):
+        from repro.net import Packet
+
+        testbed.network.send(
+            Packet(testbed.client.address, testbed.server.address, 100, payload="junk")
+        )
+        testbed.sim.run_until_idle()
+        assert testbed.server.packets_unmatched == 1
+
+    def test_custom_config_respected(self):
+        bed = TwoHostTestbed(client_config=TcpConfig(default_initcwnd=42))
+        sock = bed.client.connect(bed.server.address, 80)
+        assert sock.cc.initial_cwnd == 42

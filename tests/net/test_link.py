@@ -1,0 +1,149 @@
+"""Unit tests for link serialization, queueing, propagation and loss."""
+
+import random
+
+import pytest
+
+from repro.net import BernoulliLoss, DuplexLink, IPv4Address, Packet
+from repro.net.link import Link
+
+SRC = IPv4Address("10.0.0.1")
+DST = IPv4Address("10.1.0.1")
+
+
+def make_packet(size: int = 1500) -> Packet:
+    return Packet(SRC, DST, size)
+
+
+class TestLinkBasics:
+    def test_delivery_includes_serialization_and_propagation(self, sim):
+        link = Link(sim, bandwidth_bps=1e6, propagation_delay=0.05)
+        arrivals = []
+        link.transmit(make_packet(1250), lambda p: arrivals.append(sim.now))
+        sim.run_until_idle()
+        # 1250 B at 1 Mbps = 10 ms serialization + 50 ms propagation.
+        assert arrivals == pytest.approx([0.06])
+
+    def test_back_to_back_packets_serialize(self, sim):
+        link = Link(sim, bandwidth_bps=1e6, propagation_delay=0.0)
+        arrivals = []
+        for _ in range(3):
+            link.transmit(make_packet(1250), lambda p: arrivals.append(sim.now))
+        sim.run_until_idle()
+        assert arrivals == pytest.approx([0.01, 0.02, 0.03])
+
+    def test_serialization_time(self, sim):
+        link = Link(sim, bandwidth_bps=8e6, propagation_delay=0.0)
+        assert link.serialization_time(1000) == pytest.approx(0.001)
+
+    def test_stats_track_delivery(self, sim):
+        link = Link(sim, bandwidth_bps=1e9, propagation_delay=0.001)
+        link.transmit(make_packet(100), lambda p: None)
+        sim.run_until_idle()
+        assert link.stats.packets_offered == 1
+        assert link.stats.packets_delivered == 1
+        assert link.stats.bytes_delivered == 100
+        assert link.stats.drop_rate == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bandwidth_bps": 0},
+            {"bandwidth_bps": -1},
+            {"propagation_delay": -0.1},
+            {"queue_limit_packets": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, sim, kwargs):
+        defaults = {"bandwidth_bps": 1e6, "propagation_delay": 0.0}
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            Link(sim, **defaults)
+
+
+class TestQueueing:
+    def test_queue_overflow_drops_tail(self, sim):
+        link = Link(sim, bandwidth_bps=1e6, propagation_delay=0.0, queue_limit_packets=2)
+        delivered = []
+        results = [
+            link.transmit(make_packet(1250), lambda p: delivered.append(p.packet_id))
+            for _ in range(5)
+        ]
+        sim.run_until_idle()
+        # One transmits immediately, two queue, two are tail-dropped.
+        assert results == [True, True, True, False, False]
+        assert len(delivered) == 3
+        assert link.stats.packets_dropped_queue == 2
+
+    def test_queue_drains_in_fifo_order(self, sim):
+        link = Link(sim, bandwidth_bps=1e6, propagation_delay=0.0, queue_limit_packets=10)
+        order = []
+        packets = [make_packet(125) for _ in range(4)]
+        for packet in packets:
+            link.transmit(packet, lambda p: order.append(p.packet_id))
+        sim.run_until_idle()
+        assert order == [p.packet_id for p in packets]
+
+    def test_max_queue_depth_recorded(self, sim):
+        link = Link(sim, bandwidth_bps=1e3, propagation_delay=0.0, queue_limit_packets=10)
+        for _ in range(5):
+            link.transmit(make_packet(100), lambda p: None)
+        assert link.stats.max_queue_depth >= 4
+
+
+class TestLoss:
+    def test_lossy_link_drops_packets(self, sim):
+        link = Link(
+            sim,
+            bandwidth_bps=1e9,
+            propagation_delay=0.0,
+            queue_limit_packets=2000,
+            loss_model=BernoulliLoss(0.5),
+            rng=random.Random(4),
+        )
+        delivered = []
+        for _ in range(1000):
+            link.transmit(make_packet(100), lambda p: delivered.append(1))
+        sim.run_until_idle()
+        assert 400 < len(delivered) < 600
+        assert link.stats.packets_dropped_loss == 1000 - len(delivered)
+
+    def test_lost_packet_still_occupies_transmitter(self, sim):
+        link = Link(
+            sim,
+            bandwidth_bps=1e6,
+            propagation_delay=0.0,
+            loss_model=BernoulliLoss(0.999999),
+            rng=random.Random(1),
+        )
+        arrivals = []
+        link.transmit(make_packet(1250), lambda p: arrivals.append(sim.now))
+        link.transmit(make_packet(1250), lambda p: arrivals.append(sim.now))
+        sim.run_until_idle()
+        # Both almost surely lost, but the wire was busy 20 ms total.
+        assert sim.now == pytest.approx(0.02)
+
+
+class TestDuplexLink:
+    def test_directions_are_independent(self, sim):
+        duplex = DuplexLink(sim, bandwidth_bps=1e6, propagation_delay=0.01)
+        forward, backward = [], []
+        duplex.forward.transmit(make_packet(125), lambda p: forward.append(sim.now))
+        duplex.reverse.transmit(make_packet(125), lambda p: backward.append(sim.now))
+        sim.run_until_idle()
+        assert len(forward) == 1 and len(backward) == 1
+
+    def test_rtt_is_sum_of_propagation(self, sim):
+        duplex = DuplexLink(sim, bandwidth_bps=1e9, propagation_delay=0.030)
+        assert duplex.rtt == pytest.approx(0.060)
+
+    def test_loss_state_is_per_direction(self, sim):
+        duplex = DuplexLink(
+            sim,
+            bandwidth_bps=1e9,
+            propagation_delay=0.0,
+            loss_model=BernoulliLoss(0.3),
+            rng_forward=random.Random(1),
+            rng_reverse=random.Random(2),
+        )
+        assert duplex.forward._loss is not duplex.reverse._loss

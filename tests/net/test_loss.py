@@ -1,0 +1,84 @@
+"""Unit tests for the loss models."""
+
+import random
+
+import pytest
+
+from repro.net import BernoulliLoss, GilbertElliottLoss, NoLoss
+
+
+class TestNoLoss:
+    def test_never_drops(self):
+        model = NoLoss()
+        rng = random.Random(1)
+        assert not any(model.should_drop(rng) for _ in range(1000))
+
+    def test_clone_returns_fresh_instance(self):
+        model = NoLoss()
+        assert model.clone() is not model
+
+
+class TestBernoulliLoss:
+    def test_zero_probability_never_drops(self):
+        model = BernoulliLoss(0.0)
+        rng = random.Random(1)
+        assert not any(model.should_drop(rng) for _ in range(1000))
+
+    def test_drop_rate_approximates_probability(self):
+        model = BernoulliLoss(0.2)
+        rng = random.Random(7)
+        drops = sum(model.should_drop(rng) for _ in range(20000))
+        assert 0.18 < drops / 20000 < 0.22
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_invalid_probability_rejected(self, bad):
+        with pytest.raises(ValueError):
+            BernoulliLoss(bad)
+
+    def test_clone_preserves_probability(self):
+        assert BernoulliLoss(0.05).clone().probability == 0.05
+
+
+class TestGilbertElliottLoss:
+    def test_always_good_behaves_like_no_loss(self):
+        model = GilbertElliottLoss(0.0, 1.0, loss_good=0.0, loss_bad=1.0)
+        rng = random.Random(3)
+        assert not any(model.should_drop(rng) for _ in range(1000))
+
+    def test_bad_state_loses_heavily(self):
+        model = GilbertElliottLoss(1.0, 0.0, loss_good=0.0, loss_bad=1.0)
+        rng = random.Random(3)
+        # First packet transitions to bad, everything is lost from there.
+        drops = [model.should_drop(rng) for _ in range(100)]
+        assert all(drops)
+
+    def test_losses_are_bursty(self):
+        """Consecutive losses cluster more than under Bernoulli."""
+        model = GilbertElliottLoss(0.01, 0.2, loss_good=0.0, loss_bad=0.5)
+        rng = random.Random(11)
+        outcomes = [model.should_drop(rng) for _ in range(50000)]
+        loss_rate = sum(outcomes) / len(outcomes)
+        pairs = sum(
+            1 for a, b in zip(outcomes, outcomes[1:]) if a and b
+        )
+        conditional = pairs / max(sum(outcomes), 1)
+        assert conditional > 2 * loss_rate  # loss given loss is elevated
+
+    def test_transition_state_tracked(self):
+        model = GilbertElliottLoss(1.0, 0.0)
+        rng = random.Random(5)
+        model.should_drop(rng)
+        assert model.in_bad_state
+
+    def test_clone_resets_state(self):
+        model = GilbertElliottLoss(1.0, 0.0)
+        rng = random.Random(5)
+        model.should_drop(rng)
+        assert not model.clone().in_bad_state
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_invalid_parameters_rejected(self, bad):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(bad, 0.5)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(0.5, 0.5, loss_bad=bad)

@@ -1,0 +1,98 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+def _noop() -> None:
+    pass
+
+
+def make_event(time: float, seq: int) -> Event:
+    return Event(time, seq, _noop)
+
+
+class TestEventOrdering:
+    def test_orders_by_time(self):
+        early, late = make_event(1.0, 5), make_event(2.0, 1)
+        assert early < late
+
+    def test_ties_broken_by_sequence(self):
+        first, second = make_event(1.0, 1), make_event(1.0, 2)
+        assert first < second
+        assert not second < first
+
+    def test_repr_mentions_state(self):
+        event = make_event(1.0, 1)
+        event.cancel()
+        assert "cancelled" in repr(event)
+
+
+class TestEventQueue:
+    def test_pop_returns_earliest(self):
+        queue = EventQueue()
+        queue.push(make_event(2.0, 1))
+        queue.push(make_event(1.0, 2))
+        assert queue.pop().time == 1.0
+        assert queue.pop().time == 2.0
+
+    def test_same_time_pops_in_schedule_order(self):
+        queue = EventQueue()
+        events = [make_event(5.0, seq) for seq in range(10)]
+        for event in reversed(events):
+            queue.push(event)
+        popped = [queue.pop().seq for _ in range(10)]
+        assert popped == sorted(popped)
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        event = make_event(1.0, 1)
+        queue.push(event)
+        queue.push(make_event(2.0, 2))
+        assert len(queue) == 2
+        event.cancel()
+        queue.note_cancelled()
+        assert len(queue) == 1
+
+    def test_pop_skips_cancelled(self):
+        queue = EventQueue()
+        cancelled = make_event(1.0, 1)
+        queue.push(cancelled)
+        queue.push(make_event(2.0, 2))
+        cancelled.cancel()
+        queue.note_cancelled()
+        assert queue.pop().seq == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        cancelled = make_event(1.0, 1)
+        queue.push(cancelled)
+        queue.push(make_event(3.0, 2))
+        cancelled.cancel()
+        queue.note_cancelled()
+        assert queue.peek_time() == 3.0
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()
+
+    def test_bool_reflects_liveness(self):
+        queue = EventQueue()
+        assert not queue
+        event = make_event(1.0, 1)
+        queue.push(event)
+        assert queue
+        event.cancel()
+        queue.note_cancelled()
+        assert not queue
+
+    def test_cancel_is_idempotent(self):
+        event = make_event(1.0, 1)
+        event.cancel()
+        event.cancel()
+        assert event.cancelled

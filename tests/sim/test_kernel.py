@@ -1,0 +1,120 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.sim import SchedulingError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_clock_starts_at_custom_time(self):
+        assert Simulator(start_time=7.5).now == 7.5
+
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "c")
+        sim.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self, sim):
+        fired = []
+        for tag in range(20):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run_until_idle()
+        assert fired == list(range(20))
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(4.25, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [4.25]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_handlers_can_schedule_more_events(self, sim):
+        fired = []
+
+        def chain(n: int) -> None:
+            fired.append(n)
+            if n < 5:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(1.0, chain, 1)
+        sim.run_until_idle()
+        assert fired == [1, 2, 3, 4, 5]
+        assert sim.now == 5.0
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self, sim):
+        sim.schedule(10.0, lambda: None)
+        end = sim.run(until=3.0)
+        assert end == 3.0
+        assert sim.now == 3.0
+        assert sim.pending_events == 1
+
+    def test_run_until_executes_events_at_bound(self, sim):
+        fired = []
+        sim.schedule(3.0, fired.append, "x")
+        sim.run(until=3.0)
+        assert fired == ["x"]
+
+    def test_run_resumes_after_until(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, "later")
+        sim.run(until=1.0)
+        assert fired == []
+        sim.run(until=10.0)
+        assert fired == ["later"]
+
+    def test_max_events_bounds_execution(self, sim):
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_processed == 4
+        assert sim.pending_events == 6
+
+    def test_reentrant_run_rejected(self, sim):
+        def nested() -> None:
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SchedulingError):
+            sim.run_until_idle()
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        sim.cancel(handle)
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_cancel_is_idempotent_on_kernel(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        other = sim.schedule(2.0, lambda: None)
+        sim.cancel(handle)
+        sim.cancel(handle)
+        assert sim.pending_events == 1
+        sim.cancel(other)
+        assert sim.pending_events == 0
+
+    def test_events_processed_counts_only_fired(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(handle)
+        sim.run_until_idle()
+        assert sim.events_processed == 1

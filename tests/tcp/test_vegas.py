@@ -1,0 +1,90 @@
+"""Tests for TCP Vegas (delay-based congestion control)."""
+
+import pytest
+
+from repro.tcp import TcpConfig, make_congestion_control
+from repro.tcp.cc import Vegas
+from repro.tcp.cc.base import MIN_CWND
+from repro.testing import TwoHostTestbed, request_response
+
+MSS = 1460
+
+
+class TestVegasUnit:
+    def test_registered_in_factory(self):
+        assert isinstance(make_congestion_control("vegas", 10, MSS), Vegas)
+
+    def test_slow_start_like_others(self):
+        cc = Vegas(initial_cwnd=10, mss=MSS)
+        cc.on_ack(now=0.0, acked_bytes=10 * MSS, rtt=0.1)
+        assert cc.cwnd == pytest.approx(20.0)
+
+    def test_base_rtt_tracks_minimum(self):
+        cc = Vegas(initial_cwnd=10, mss=MSS)
+        cc.on_ack(now=0.0, acked_bytes=MSS, rtt=0.10)
+        cc.on_ack(now=0.1, acked_bytes=MSS, rtt=0.08)
+        cc.on_ack(now=0.2, acked_bytes=MSS, rtt=0.12)
+        assert cc.base_rtt == pytest.approx(0.08)
+
+    def test_grows_when_queue_is_empty(self):
+        cc = Vegas(initial_cwnd=10, mss=MSS)
+        cc.ssthresh = 10.0  # force congestion avoidance
+        cc.on_ack(now=0.0, acked_bytes=MSS, rtt=0.100)
+        start = cc.cwnd
+        # RTT equals base RTT: zero queued segments -> below alpha -> grow.
+        for _ in range(20):
+            cc.on_ack(now=0.1, acked_bytes=MSS, rtt=0.100)
+        assert cc.cwnd > start
+
+    def test_shrinks_when_queueing_detected(self):
+        cc = Vegas(initial_cwnd=50, mss=MSS)
+        cc.ssthresh = 10.0
+        cc.on_ack(now=0.0, acked_bytes=MSS, rtt=0.100)  # base = 100 ms
+        start = cc.cwnd
+        # RTT doubled: surplus = cwnd/2 segments >> beta -> back off.
+        for _ in range(20):
+            cc.on_ack(now=0.1, acked_bytes=MSS, rtt=0.200)
+        assert cc.cwnd < start
+        assert cc.cwnd >= MIN_CWND
+
+    def test_holds_inside_band(self):
+        cc = Vegas(initial_cwnd=30, mss=MSS)
+        cc.ssthresh = 10.0
+        cc.on_ack(now=0.0, acked_bytes=MSS, rtt=0.100)
+        # Choose an RTT giving ~3 queued segments (inside [2, 4]).
+        cwnd = cc.cwnd
+        rtt = 0.100 * cwnd / (cwnd - 3.0)
+        before = cc.cwnd
+        for _ in range(10):
+            cc.on_ack(now=0.1, acked_bytes=MSS, rtt=rtt)
+        assert cc.cwnd == pytest.approx(before, abs=0.5)
+
+    def test_loss_halves_ssthresh(self):
+        cc = Vegas(initial_cwnd=10, mss=MSS)
+        cc.cwnd = 40.0
+        cc.on_loss_event(now=1.0)
+        assert cc.ssthresh == pytest.approx(20.0)
+
+
+class TestVegasEndToEnd:
+    def test_transfer_completes_under_vegas(self):
+        config = TcpConfig(congestion_control="vegas", default_initrwnd=300)
+        bed = TwoHostTestbed(rtt=0.080, client_config=config, server_config=config)
+        bed.serve_echo()
+        result = request_response(bed, response_bytes=500_000)
+        assert result.completed
+        assert result.socket.bytes_received == 500_000
+
+    def test_riptide_initcwnd_applies_under_vegas(self):
+        """Riptide 'is applicable to any TCP protocol that employs slow
+        start' — the learned window jump-starts Vegas too."""
+        config = TcpConfig(congestion_control="vegas", default_initrwnd=300)
+        slow = TwoHostTestbed(rtt=0.100, client_config=config, server_config=config)
+        slow.serve_echo()
+        slow_time = request_response(slow, response_bytes=100_000).total_time
+
+        fast = TwoHostTestbed(rtt=0.100, client_config=config, server_config=config)
+        fast.serve_echo()
+        fast.server.ip.route_replace("10.0.0.0/24", initcwnd=100)
+        fast_time = request_response(fast, response_bytes=100_000).total_time
+        assert fast_time < slow_time

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig02", "fig10", "table2", "edge_cases"):
+            assert experiment_id in out
+
+    def test_marks_simulation_experiments(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "[simulation]" in out
+        assert "[model" in out
+
+
+class TestDescribe:
+    def test_describe_prints_docstring(self, capsys):
+        assert main(["describe", "fig05"]) == 0
+        out = capsys.readouterr().out
+        assert "125" in out
+        assert "fig05" in out
+
+
+class TestRun:
+    def test_run_model_experiment(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "completed in" in out
+
+    def test_run_with_fast_flag(self, capsys):
+        assert main(["run", "fig03", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
