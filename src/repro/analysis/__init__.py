@@ -1,6 +1,15 @@
 """Measurement analysis: empirical CDFs, percentile gains, renderers."""
 
 from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.export import (
+    cdf_to_csv,
+    cdfs_to_csv,
+    metrics_to_csv,
+    metrics_to_json,
+    rows_to_csv,
+    trace_to_json,
+    write_csv,
+)
 from repro.analysis.significance import KsComparison, ks_compare, median_shift
 from repro.analysis.stats import (
     PercentileGain,
@@ -14,11 +23,18 @@ __all__ = [
     "EmpiricalCdf",
     "KsComparison",
     "PercentileGain",
+    "cdf_to_csv",
+    "cdfs_to_csv",
     "format_cdf_rows",
     "format_table",
     "fraction_below",
     "ks_compare",
     "median_shift",
+    "metrics_to_csv",
+    "metrics_to_json",
     "percentile_gain_profile",
+    "rows_to_csv",
     "summarize",
+    "trace_to_json",
+    "write_csv",
 ]

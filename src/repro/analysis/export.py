@@ -1,17 +1,22 @@
-"""CSV export of experiment data.
+"""CSV/JSON export of experiment data and run metrics.
 
 Each figure harness prints human-readable tables; downstream users who
 want to re-plot with their own tools can dump the underlying series with
-these helpers instead of scraping the text output.
+these helpers instead of scraping the text output.  The metric/trace
+exporters serialise a run's :class:`~repro.obs.MetricsRegistry` and
+:class:`~repro.obs.TraceLog` (see ``python -m repro metrics``).
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.cdf import EmpiricalCdf
+from repro.obs.metrics import DEFAULT_PERCENTILES, MetricsRegistry, format_labels
+from repro.obs.trace import TraceLog
 
 
 def rows_to_csv(
@@ -58,3 +63,54 @@ def write_csv(path: str, content: str) -> None:
     """Write CSV text to a file."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(content)
+
+
+def metrics_to_csv(
+    registry: MetricsRegistry,
+    percentiles: Iterable[float] = DEFAULT_PERCENTILES,
+) -> str:
+    """One registry in long format: ``kind, metric, labels, field, value``."""
+    rows = []
+    for row in registry.snapshot(percentiles):
+        for field_name, value in row.fields:
+            rows.append(
+                (row.kind, row.name, format_labels(row.labels), field_name,
+                 f"{value:.9g}")
+            )
+    return rows_to_csv(("kind", "metric", "labels", "field", "value"), rows)
+
+
+def metrics_to_json(
+    registry: MetricsRegistry,
+    percentiles: Iterable[float] = DEFAULT_PERCENTILES,
+) -> str:
+    """One registry as a JSON document (one object per instrument)."""
+    payload = [
+        {
+            "kind": row.kind,
+            "metric": row.name,
+            "labels": dict(row.labels),
+            **dict(row.fields),
+        }
+        for row in registry.snapshot(percentiles)
+    ]
+    return json.dumps(payload, indent=2)
+
+
+def trace_to_json(log: TraceLog) -> str:
+    """A trace log's totals and retained events as a JSON document."""
+    payload = {
+        "totals": {event_type.value: count for event_type, count in sorted(
+            log.totals().items(), key=lambda item: item[0].value
+        )},
+        "events": [
+            {
+                "time": event.time,
+                "type": event.type.value,
+                "source": event.source,
+                "details": {k: v for k, v in event.details},
+            }
+            for event in log.events()
+        ],
+    }
+    return json.dumps(payload, indent=2)

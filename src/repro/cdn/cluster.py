@@ -23,6 +23,7 @@ from repro.linux.host import Host
 from repro.net.addresses import IPv4Address
 from repro.net.loss import BernoulliLoss, LossModel, NoLoss
 from repro.net.network import Network, PathSpec
+from repro.obs import Auditor, Instrumentation
 from repro.sim.kernel import Simulator
 from repro.sim.rand import RandomStreams
 from repro.tcp.constants import TcpConfig
@@ -55,6 +56,7 @@ class _PopDeployment:
     servers: list[TransferServer]
     clients: list[TransferClient]
     agents: list[RiptideAgent]
+    auditors: list[Auditor]
 
 
 class CdnCluster:
@@ -102,7 +104,7 @@ class CdnCluster:
         return BernoulliLoss(self.config.loss_probability)
 
     def _deploy_pop(self, pop: PoP) -> None:
-        hosts, servers, clients, agents = [], [], [], []
+        hosts, servers, clients, agents, auditors = [], [], [], [], []
         for index, address in enumerate(pop.server_addresses()):
             host = Host(
                 self.sim,
@@ -114,8 +116,16 @@ class CdnCluster:
             hosts.append(host)
             servers.append(TransferServer(host))
             clients.append(TransferClient(host))
-            agents.append(RiptideAgent(host, self.config.riptide))
-        self._pops[pop.code] = _PopDeployment(pop, hosts, servers, clients, agents)
+            agent = RiptideAgent(host, self.config.riptide)
+            # Every agent audits its learned table against the route table
+            # at the start of each poll tick (see repro.obs.audit).
+            auditor = Auditor(agent)
+            agent.attach_auditor(auditor)
+            agents.append(agent)
+            auditors.append(auditor)
+        self._pops[pop.code] = _PopDeployment(
+            pop, hosts, servers, clients, agents, auditors
+        )
 
     # ------------------------------------------------------------------
     # accessors
@@ -142,6 +152,14 @@ class CdnCluster:
 
     def all_agents(self) -> list[RiptideAgent]:
         return [agent for dep in self._pops.values() for agent in dep.agents]
+
+    def all_auditors(self) -> list[Auditor]:
+        return [auditor for dep in self._pops.values() for auditor in dep.auditors]
+
+    @property
+    def instrumentation(self) -> Instrumentation:
+        """This deployment's metrics registry and trace log."""
+        return self.sim.obs
 
     def server_address(self, code: str, index: int = 0) -> IPv4Address:
         return self._deployment(code).pop.server_addresses()[index]

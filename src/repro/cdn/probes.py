@@ -14,29 +14,26 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.cdn.pop import PoP
-from repro.cdn.transfer import TransferClient, TransferResult
+from repro.cdn.transfer import (
+    RTT_BUCKETS,
+    TransferClient,
+    TransferResult,
+    rtt_bucket,
+)
 from repro.net.addresses import IPv4Address
 from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicProcess
 
+__all__ = [
+    "PAPER_PROBE_SIZES",
+    "ProbeFleet",
+    "ProbeResult",
+    "RTT_BUCKETS",
+    "rtt_bucket",
+]
+
 #: The paper's probe sizes, in bytes.
 PAPER_PROBE_SIZES = (10_000, 50_000, 100_000)
-
-#: The paper's RTT buckets for Figures 12-14 (upper bounds, seconds).
-RTT_BUCKETS = (
-    ("<50ms", 0.050),
-    ("51-100ms", 0.100),
-    ("101-150ms", 0.150),
-    (">150ms", float("inf")),
-)
-
-
-def rtt_bucket(rtt: float) -> str:
-    """The Figure 12-14 bucket label for a path RTT."""
-    for label, upper in RTT_BUCKETS:
-        if rtt <= upper:
-            return label
-    raise AssertionError("unreachable: last bucket is unbounded")
 
 
 @dataclass
@@ -116,6 +113,9 @@ class ProbeFleet:
         self._process = PeriodicProcess(sim, interval, self._round, name="probes")
         self.results: list[ProbeResult] = []
         self.rounds_issued = 0
+        self._metrics = sim.obs.metrics
+        self._m_issued = self._metrics.counter("probe_transfers_issued")
+        self._m_failed = self._metrics.counter("probe_failures")
 
     @property
     def sizes(self) -> tuple[int, ...]:
@@ -177,7 +177,20 @@ class ProbeFleet:
             path_rtt=path_rtt,
             transfer=None,  # type: ignore[arg-type] - set immediately below
         )
-        probe.transfer = source.client.fetch(address, size)
+        self._m_issued.inc()
+        histogram = self._metrics.histogram(
+            "probe_completion_time",
+            bucket=rtt_bucket(path_rtt),
+            size=f"{size // 1000}KB",
+        )
+
+        def on_complete(result: TransferResult) -> None:
+            if result.completed:
+                histogram.observe(result.total_time, t=result.completed_at)
+            else:
+                self._m_failed.inc()
+
+        probe.transfer = source.client.fetch(address, size, on_complete=on_complete)
         self.results.append(probe)
 
     def _close_idle(self) -> None:

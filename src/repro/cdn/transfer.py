@@ -23,6 +23,23 @@ TRANSFER_PORT = 8080
 #: Wire size charged for a request message.
 REQUEST_BYTES = 200
 
+#: The paper's RTT buckets for Figures 12-14 (upper bounds, seconds).
+RTT_BUCKETS = (
+    ("<50ms", 0.050),
+    ("51-100ms", 0.100),
+    ("101-150ms", 0.150),
+    (">150ms", float("inf")),
+)
+
+
+def rtt_bucket(rtt: float) -> str:
+    """The Figure 12-14 bucket label for a path RTT."""
+    for label, upper in RTT_BUCKETS:
+        if rtt <= upper:
+            return label
+    raise AssertionError("unreachable: last bucket is unbounded")
+
+
 _transfer_ids = itertools.count(1)
 
 
@@ -98,6 +115,11 @@ class TransferClient:
         self.transfers_failed = 0
         self.connections_opened = 0
         self.connections_reused = 0
+        self._metrics = host.sim.obs.metrics
+        self._m_opened = self._metrics.counter("transfer_connections_opened")
+        self._m_reused = self._metrics.counter("transfer_connections_reused")
+        self._m_completed = self._metrics.counter("transfer_completions")
+        self._m_failed = self._metrics.counter("transfer_failures")
 
     def fetch(
         self,
@@ -127,6 +149,7 @@ class TransferClient:
             result.established_at = result.started_at
             result.initial_cwnd = conn.socket.cc.initial_cwnd
             self.connections_reused += 1
+            self._m_reused.inc()
             self._issue(conn, result, on_complete)
         else:
             self._open_and_issue(destination, result, on_complete)
@@ -179,6 +202,7 @@ class TransferClient:
     ) -> None:
         conn = _PooledConnection(socket=None)  # type: ignore[arg-type]
         self.connections_opened += 1
+        self._m_opened.inc()
 
         def on_established(sock: TcpSocket) -> None:
             result.established_at = self.host.sim.now
@@ -219,6 +243,15 @@ class TransferClient:
         result.completed_at = self.host.sim.now
         conn.busy = False
         self.transfers_completed += 1
+        self._m_completed.inc()
+        # Completion-time histogram, bucketed by the connection's measured
+        # RTT (the Figure 12-14 axis).  srtt is set by the time any
+        # response has arrived.
+        srtt = conn.socket.srtt
+        bucket = rtt_bucket(srtt) if srtt is not None else "unknown"
+        self._metrics.histogram("transfer_completion_time", bucket=bucket).observe(
+            result.total_time, t=result.completed_at
+        )
         if on_complete is not None:
             on_complete(result)
 
@@ -239,6 +272,7 @@ class TransferClient:
                 del self._inflight[transfer_id]
                 result.failed_reason = reason or "connection closed"
                 self.transfers_failed += 1
+                self._m_failed.inc()
                 if on_complete is not None:
                     on_complete(result)
 

@@ -6,9 +6,14 @@
     python -m repro run fig03            # regenerate one figure/table
     python -m repro run fig10 --fast     # reduced-scale simulation run
     python -m repro describe fig12_14    # what an experiment reproduces
+    python -m repro metrics fig10        # run + print the metric table
 
 ``run`` prints the same rows/series the corresponding paper figure or
-table reports.
+table reports.  ``metrics`` runs the experiment under an instrumentation
+capture (see :mod:`repro.obs`) and prints the aggregated metric table
+and trace-event totals instead — the operator's view of the same run.
+Experiments may be named by id (``fig10``) or by harness module name
+(``fig10_cmax_sweep``).
 """
 
 from __future__ import annotations
@@ -17,7 +22,8 @@ import argparse
 import sys
 import time
 
-from repro.experiments import get_experiment, list_experiments
+from repro.experiments import EXPERIMENTS, get_experiment, list_experiments
+from repro.obs import capture
 
 #: Reduced-scale keyword arguments per experiment for ``--fast``.
 _FAST_OVERRIDES: dict[str, dict] = {
@@ -60,6 +66,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     describe_parser.add_argument("experiment_id")
 
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="run an experiment and print its metric table and trace totals",
+    )
+    metrics_parser.add_argument(
+        "experiment_id", help="e.g. fig10 or fig10_cmax_sweep"
+    )
+    metrics_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced-scale run (smaller topology / fewer samples)",
+    )
+    metrics_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit metrics and trace as JSON instead of tables",
+    )
+    metrics_parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="also write the metric table to PATH as CSV",
+    )
+
     return parser
 
 
@@ -80,20 +109,40 @@ def _cmd_describe(experiment_id: str) -> int:
     return 0
 
 
-def _cmd_run(experiment_id: str, fast: bool) -> int:
-    exp = get_experiment(experiment_id)
-    kwargs: dict = {}
-    if fast:
-        if experiment_id in _FAST_STUDY_IDS:
-            from repro.experiments.scenarios import ProbeStudyConfig
+def _normalize_experiment_id(experiment_id: str) -> str:
+    """Resolve an id or a harness module name to a registered id.
 
-            kwargs["config"] = ProbeStudyConfig(
+    ``fig10`` and ``fig10_cmax_sweep`` both name the Figure 10 sweep: the
+    former is the registry id, the latter the module under
+    ``repro.experiments`` that implements it.
+    """
+    if experiment_id in EXPERIMENTS:
+        return experiment_id
+    for exp in EXPERIMENTS.values():
+        module_name = exp.run.__module__.rsplit(".", 1)[-1]
+        if experiment_id == module_name:
+            return exp.experiment_id
+    return experiment_id  # let get_experiment raise its usual error
+
+
+def _fast_kwargs(experiment_id: str) -> dict:
+    """Reduced-scale overrides for one experiment (``--fast``)."""
+    if experiment_id in _FAST_STUDY_IDS:
+        from repro.experiments.scenarios import ProbeStudyConfig
+
+        return {
+            "config": ProbeStudyConfig(
                 topology_codes=("LHR", "AMS", "JFK", "NRT", "SYD"),
                 warmup=10.0,
                 duration=30.0,
             )
-        else:
-            kwargs = dict(_FAST_OVERRIDES.get(experiment_id, {}))
+        }
+    return dict(_FAST_OVERRIDES.get(experiment_id, {}))
+
+
+def _cmd_run(experiment_id: str, fast: bool) -> int:
+    exp = get_experiment(experiment_id)
+    kwargs = _fast_kwargs(experiment_id) if fast else {}
     if exp.simulation_backed:
         print(f"running {experiment_id} (full simulation; this takes a while)...")
     started = time.perf_counter()
@@ -101,6 +150,50 @@ def _cmd_run(experiment_id: str, fast: bool) -> int:
     elapsed = time.perf_counter() - started
     print(result.report())
     print(f"\n[{experiment_id} completed in {elapsed:.1f}s]")
+    return 0
+
+
+def _cmd_metrics(experiment_id: str, fast: bool, as_json: bool, csv_path: str | None) -> int:
+    import json
+
+    from repro.analysis.export import metrics_to_csv, metrics_to_json, trace_to_json
+
+    exp = get_experiment(experiment_id)
+    kwargs = _fast_kwargs(experiment_id) if fast else {}
+    if exp.simulation_backed:
+        print(
+            f"running {experiment_id} under metrics capture "
+            "(full simulation; this takes a while)...",
+            file=sys.stderr,
+        )
+    started = time.perf_counter()
+    with capture() as instrumentation:
+        exp.run(**kwargs)
+    elapsed = time.perf_counter() - started
+    if as_json:
+        payload = {
+            "experiment": experiment_id,
+            "metrics": json.loads(metrics_to_json(instrumentation.metrics)),
+            "trace": json.loads(trace_to_json(instrumentation.trace)),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"== metrics: {experiment_id} ==")
+        print(instrumentation.metrics.render_table())
+        totals = instrumentation.trace.totals()
+        if totals:
+            print("\n== trace event totals ==")
+            width = max(len(t.value) for t in totals)
+            for event_type, count in sorted(
+                totals.items(), key=lambda item: item[0].value
+            ):
+                print(f"{event_type.value:<{width}}  {count}")
+        print(f"\n[{experiment_id} completed in {elapsed:.1f}s]")
+    if csv_path is not None:
+        from repro.analysis.export import write_csv
+
+        write_csv(csv_path, metrics_to_csv(instrumentation.metrics))
+        print(f"metrics CSV written to {csv_path}", file=sys.stderr)
     return 0
 
 
@@ -113,6 +206,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         try:
             return _cmd_run(args.experiment_id, args.fast)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.command == "metrics":
+        try:
+            return _cmd_metrics(
+                _normalize_experiment_id(args.experiment_id),
+                args.fast,
+                args.json,
+                args.csv,
+            )
         except KeyError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

@@ -5,8 +5,12 @@
 to set more conservative congestion windows to avoid sudden crowding."
 
 An advisory is a time-bounded multiplicative scale applied to every
-window Riptide computes, before clamping.  Overlapping advisories
-compose by taking the most conservative (smallest) active scale.
+window Riptide computes, *after* clamping: the agent scales the
+clamped window (flooring at ``c_min``) so that an operator halving
+windows actually halves the installed values even when the raw computed
+window sits above ``c_max`` — see ``RiptideAgent._tick``.  Overlapping
+advisories compose by taking the most conservative (smallest) active
+scale.
 """
 
 from __future__ import annotations

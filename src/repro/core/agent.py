@@ -21,6 +21,7 @@ their route, restoring the kernel default of 10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.advisory import Advisory, AdvisoryController
 from repro.core.combiners import Observation, make_combiner
@@ -31,7 +32,11 @@ from repro.core.observed import LearnedTable
 from repro.core.trend import TrendDetector
 from repro.linux.host import Host
 from repro.net.addresses import Prefix
+from repro.obs.trace import EventType
 from repro.sim.process import PeriodicProcess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.audit import Auditor
 
 
 @dataclass
@@ -41,6 +46,7 @@ class AgentStats:
     polls: int = 0
     connections_observed: int = 0
     routes_installed: int = 0
+    routes_withdrawn: int = 0
     routes_expired: int = 0
     window_history: list[tuple[float, int]] = field(default_factory=list)
 
@@ -78,6 +84,22 @@ class RiptideAgent:
         self._record_window_history = record_window_history
         self.stats = AgentStats()
         self.started_at: float | None = None
+        #: Optional consistency auditor, run at the start of every tick.
+        self.auditor: "Auditor | None" = None
+        self._last_advisory_scale = 1.0
+
+        obs = host.sim.obs
+        self._trace = obs.trace
+        metrics = obs.metrics
+        self._m_polls = metrics.counter("riptide_polls")
+        self._m_observed = metrics.counter("riptide_connections_observed")
+        self._m_installed = metrics.counter("riptide_routes_installed")
+        self._m_withdrawn = metrics.counter("riptide_routes_withdrawn")
+        self._m_expired = metrics.counter("riptide_routes_expired")
+        self._m_clamp_min = metrics.counter("riptide_clamp_hits", bound="c_min")
+        self._m_clamp_max = metrics.counter("riptide_clamp_hits", bound="c_max")
+        self._g_learned = metrics.gauge("riptide_learned_entries", host=host.name)
+        self._h_poll_cost = metrics.histogram("riptide_poll_cost")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -94,13 +116,36 @@ class RiptideAgent:
         self._process.start(initial_delay=initial_delay)
 
     def stop(self, remove_routes: bool = True) -> None:
-        """Stop polling; optionally withdraw all installed routes."""
+        """Stop polling; optionally withdraw all installed routes.
+
+        With ``remove_routes`` the learned table, history and trend state
+        are cleared along with the routes: a stopped agent no longer has
+        anything installed, so remembering the old windows would make a
+        restarted agent skip reinstalling them (the learned table would
+        claim the windows are already in effect while the route table has
+        none of them).
+        """
         self._process.stop()
         if remove_routes:
+            now = self.host.sim.now
             for entry in self._learned.entries():
                 self._withdraw(entry.destination)
+                self.stats.routes_withdrawn += 1
+                self._m_withdrawn.inc()
+                self._trace.record(
+                    now,
+                    EventType.ROUTE_WITHDRAWN,
+                    self.host.name,
+                    destination=str(entry.destination),
+                    window=entry.window,
+                    reason="stop",
+                )
+                if self._trend is not None:
+                    self._trend.forget(entry.destination)
             for destination in list(self._history.tracked_keys()):
                 self._history.forget(destination)
+            self._learned.clear()
+            self._g_learned.set(0)
 
     # ------------------------------------------------------------------
     # introspection
@@ -112,6 +157,21 @@ class RiptideAgent:
     def learned_window_for(self, destination: Prefix) -> int | None:
         entry = self._learned.get(destination)
         return entry.window if entry is not None else None
+
+    def installed_window(self, destination: Prefix) -> int | None:
+        """The window *actually in effect* for ``destination`` right now.
+
+        Reads the host's installation state (the route table here; the
+        kernel hook's map in :class:`~repro.core.kernel_mode.
+        KernelModeAgent`), not the learned table — the two can diverge,
+        which is exactly what :class:`~repro.obs.audit.Auditor` checks.
+        """
+        entry = self.host.route_table.get(destination)
+        return entry.initcwnd if entry is not None else None
+
+    def attach_auditor(self, auditor: "Auditor") -> None:
+        """Run ``auditor.check()`` at the start of every poll tick."""
+        self.auditor = auditor
 
     @property
     def trend_detector(self) -> TrendDetector | None:
@@ -130,11 +190,25 @@ class RiptideAgent:
         imminent load-balancing shift: new connections enter the network
         more cautiously while the advisory holds.
         """
-        return self._advisories.advise(
-            scale, duration, now=self.host.sim.now, reason=reason
+        now = self.host.sim.now
+        advisory = self._advisories.advise(scale, duration, now=now, reason=reason)
+        self._trace.record(
+            now,
+            EventType.ADVISORY_START,
+            self.host.name,
+            scale=scale,
+            until=advisory.until,
+            reason=reason,
         )
+        return advisory
 
     def clear_advisories(self) -> None:
+        now = self.host.sim.now
+        if self._advisories.scale_at(now) < 1.0:
+            self._trace.record(
+                now, EventType.ADVISORY_END, self.host.name, reason="cleared"
+            )
+            self._last_advisory_scale = 1.0
         self._advisories.clear()
 
     def current_advisory_scale(self) -> float:
@@ -147,13 +221,29 @@ class RiptideAgent:
     def _tick(self) -> None:
         now = self.host.sim.now
         self.stats.polls += 1
+        self._m_polls.inc()
+        if self.auditor is not None:
+            # Audit *before* the install pass: a divergence is observed
+            # here once, then healed by this very tick's reinstall.
+            self.auditor.check(now)
         advisory_scale = self._advisories.scale_at(now)
+        if advisory_scale == 1.0 and self._last_advisory_scale < 1.0:
+            self._trace.record(
+                now, EventType.ADVISORY_END, self.host.name, reason="expired"
+            )
+        self._last_advisory_scale = advisory_scale
+        routes_touched_before = self.stats.routes_installed
         grouped = self._observe_and_group()
+        observed = sum(len(observations) for observations in grouped.values())
         for destination, observations in grouped.items():
             candidate = self._combiner.combine(observations)
             final = self._history.update(destination, candidate)
             if self._trend is not None:
                 final *= self._trend.observe(destination, candidate, now)
+            if final > self.config.c_max:
+                self._m_clamp_max.inc()
+            elif final < self.config.c_min:
+                self._m_clamp_min.inc()
             window = self.config.clamp(final)
             if advisory_scale < 1.0:
                 # Advisories scale the *installed* window so an operator
@@ -162,6 +252,13 @@ class RiptideAgent:
                 window = max(self.config.c_min, round(window * advisory_scale))
             self._install(destination, window, now)
         self._expire(now)
+        self._g_learned.set(len(self._learned))
+        # Poll cost: the work this tick performed — connections scanned
+        # plus route commands issued — the in-simulation analogue of the
+        # paper's "external program monitoring all open connections" load.
+        self._h_poll_cost.observe(
+            observed + (self.stats.routes_installed - routes_touched_before), t=now
+        )
 
     def _observe_and_group(self) -> dict[Prefix, list[Observation]]:
         """Poll ``ss`` and group current windows by destination key."""
@@ -176,14 +273,33 @@ class RiptideAgent:
                 Observation(cwnd=info.cwnd, bytes_acked=info.bytes_acked)
             )
             self.stats.connections_observed += 1
+            self._m_observed.inc()
         return grouped
 
     def _install(self, destination: Prefix, window: int, now: float) -> None:
         previous = self._learned.get(destination)
         self._learned.record(destination, window, now)
-        if previous is None or previous.window != window:
+        # Apply when the window changed — or when the remembered window
+        # does not match what is actually installed (a route deleted out
+        # from under us, a host reboot): trusting the learned table alone
+        # would strand the divergence forever, since an unchanged window
+        # skips this branch on every subsequent tick.
+        if (
+            previous is None
+            or previous.window != window
+            or self.installed_window(destination) != window
+        ):
             self._apply_window(destination, window)
             self.stats.routes_installed += 1
+            self._m_installed.inc()
+            self._trace.record(
+                now,
+                EventType.ROUTE_INSTALLED,
+                self.host.name,
+                destination=str(destination),
+                window=window,
+                previous=previous.window if previous is not None else None,
+            )
         if self._record_window_history:
             self.stats.window_history.append((now, window))
 
@@ -204,6 +320,14 @@ class RiptideAgent:
             if self._trend is not None:
                 self._trend.forget(entry.destination)
             self.stats.routes_expired += 1
+            self._m_expired.inc()
+            self._trace.record(
+                now,
+                EventType.ROUTE_EXPIRED,
+                self.host.name,
+                destination=str(entry.destination),
+                window=entry.window,
+            )
 
     def _withdraw(self, destination: Prefix) -> None:
         """Remove the effect of :meth:`_apply_window` (TTL expiry)."""

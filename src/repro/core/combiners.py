@@ -103,5 +103,7 @@ def make_combiner(name: str) -> Combiner:
     try:
         return _COMBINERS[name]()
     except KeyError:
+        # A config typo is a plain ValueError; the internal KeyError is
+        # an implementation detail and would only muddy the traceback.
         known = ", ".join(sorted(_COMBINERS))
-        raise ValueError(f"unknown combiner {name!r} (known: {known})")
+        raise ValueError(f"unknown combiner {name!r} (known: {known})") from None

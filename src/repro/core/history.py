@@ -109,12 +109,22 @@ class NoHistory(HistoryPolicy):
         return set(self._seen)
 
 
+_POLICIES = {
+    EwmaHistory.name: lambda alpha, window: EwmaHistory(alpha),
+    WindowedHistory.name: lambda alpha, window: WindowedHistory(window),
+    NoHistory.name: lambda alpha, window: NoHistory(),
+}
+
+
 def make_history_policy(name: str, alpha: float, window: int) -> HistoryPolicy:
     """Instantiate a history policy by its registered name."""
-    if name == EwmaHistory.name:
-        return EwmaHistory(alpha)
-    if name == WindowedHistory.name:
-        return WindowedHistory(window)
-    if name == NoHistory.name:
-        return NoHistory()
-    raise ValueError(f"unknown history policy {name!r} (known: ewma, windowed, none)")
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        # A config typo is a plain ValueError; the internal KeyError is
+        # an implementation detail and would only muddy the traceback.
+        known = ", ".join(sorted(_POLICIES))
+        raise ValueError(
+            f"unknown history policy {name!r} (known: {known})"
+        ) from None
+    return factory(alpha, window)

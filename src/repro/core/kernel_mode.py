@@ -74,6 +74,10 @@ class KernelModeAgent(RiptideAgent):
     def _withdraw(self, destination: Prefix) -> None:
         self._windows.pop(destination, None)
 
+    def installed_window(self, destination: Prefix) -> int | None:
+        """Kernel mode installs into the hook map, not the route table."""
+        return self._windows.get(destination)
+
     def __repr__(self) -> str:
         state = "running" if self.running else "stopped"
         return (

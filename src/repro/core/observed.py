@@ -58,6 +58,10 @@ class LearnedTable:
         self._entries[destination] = entry
         return entry
 
+    def clear(self) -> None:
+        """Drop every entry (agent stop with route removal)."""
+        self._entries.clear()
+
     def pop_expired(self, now: float) -> list[LearnedEntry]:
         """Remove and return every entry whose TTL has lapsed."""
         expired = [e for e in self._entries.values() if e.expired(now)]

@@ -84,6 +84,14 @@ class Link:
         self.stats = LinkStats()
         self._queue: deque[_QueuedPacket] = deque()
         self._transmitting = False
+        # Aggregate (label-free) fabric counters; per-link detail stays in
+        # ``self.stats``.  Handles are cached — these sit on the per-packet
+        # hot path.
+        metrics = sim.obs.metrics
+        self._m_delivered = metrics.counter("link_packets_delivered")
+        self._m_dropped_queue = metrics.counter("link_packets_dropped_queue")
+        self._m_dropped_loss = metrics.counter("link_packets_dropped_loss")
+        self._g_queue_depth = metrics.gauge("link_queue_depth")
 
     @property
     def queue_depth(self) -> int:
@@ -105,9 +113,11 @@ class Link:
         self.stats.bytes_offered += packet.size_bytes
         if len(self._queue) >= self.queue_limit_packets:
             self.stats.packets_dropped_queue += 1
+            self._m_dropped_queue.inc()
             return False
         self._queue.append(_QueuedPacket(packet, deliver))
         self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
+        self._g_queue_depth.set(len(self._queue))
         if not self._transmitting:
             self._start_next_transmission()
         return True
@@ -125,6 +135,7 @@ class Link:
         packet = item.packet
         if self._loss.should_drop(self._rng):
             self.stats.packets_dropped_loss += 1
+            self._m_dropped_loss.inc()
         else:
             packet.sent_at = self._sim.now
             self._sim.schedule(self.propagation_delay, self._deliver, item)
@@ -133,6 +144,7 @@ class Link:
     def _deliver(self, item: _QueuedPacket) -> None:
         self.stats.packets_delivered += 1
         self.stats.bytes_delivered += item.packet.size_bytes
+        self._m_delivered.inc()
         item.deliver(item.packet)
 
     def __repr__(self) -> str:

@@ -1,0 +1,43 @@
+"""``repro.obs`` — the observability layer.
+
+Metrics (:mod:`repro.obs.metrics`), structured tracing
+(:mod:`repro.obs.trace`), the learned-table/route-table consistency
+auditor (:mod:`repro.obs.audit`), and the per-simulator wiring
+(:mod:`repro.obs.instrument`).  See the "Observability" section of
+``docs/ARCHITECTURE.md`` for the metric-name reference.
+"""
+
+from repro.obs.audit import Auditor, Divergence
+from repro.obs.instrument import (
+    Instrumentation,
+    active_instrumentation,
+    capture,
+    instrumentation_for_new_simulator,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricRow,
+    format_labels,
+)
+from repro.obs.trace import EventType, TraceEvent, TraceLog
+
+__all__ = [
+    "Auditor",
+    "Counter",
+    "Divergence",
+    "EventType",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricRow",
+    "MetricsRegistry",
+    "TraceEvent",
+    "TraceLog",
+    "active_instrumentation",
+    "capture",
+    "format_labels",
+    "instrumentation_for_new_simulator",
+]

@@ -1,0 +1,58 @@
+"""Instrumentation wiring: one metrics registry + trace log per run.
+
+Every :class:`~repro.sim.kernel.Simulator` owns an
+:class:`Instrumentation` (reachable as ``sim.obs``), and every component
+already holds a simulator reference — so the registry threads through
+all layers without widening a single constructor.
+
+Experiments frequently build *several* simulators (figure sweeps run one
+cluster per arm).  :func:`capture` installs a shared instrumentation for
+the duration of a ``with`` block: simulators created inside the block
+aggregate into it, which is how ``python -m repro metrics <experiment>``
+collects one table across a whole sweep.  Capture contexts nest; outside
+any context each simulator gets a private instrumentation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceLog
+
+
+class Instrumentation:
+    """The metrics registry and trace log of one run."""
+
+    def __init__(self, trace_capacity: int = 10_000) -> None:
+        self.metrics = MetricsRegistry()
+        self.trace = TraceLog(capacity=trace_capacity)
+
+    def __repr__(self) -> str:
+        return f"<Instrumentation metrics={len(self.metrics)} trace={len(self.trace)}>"
+
+
+_active: list[Instrumentation] = []
+
+
+def active_instrumentation() -> Instrumentation | None:
+    """The innermost :func:`capture` context's instrumentation, if any."""
+    return _active[-1] if _active else None
+
+
+def instrumentation_for_new_simulator() -> Instrumentation:
+    """What a freshly constructed simulator should attach to."""
+    shared = active_instrumentation()
+    return shared if shared is not None else Instrumentation()
+
+
+@contextmanager
+def capture(trace_capacity: int = 10_000) -> Iterator[Instrumentation]:
+    """Aggregate all simulators created in the block into one instrumentation."""
+    instrumentation = Instrumentation(trace_capacity=trace_capacity)
+    _active.append(instrumentation)
+    try:
+        yield instrumentation
+    finally:
+        _active.remove(instrumentation)

@@ -1,0 +1,269 @@
+"""The metrics registry: counters, gauges and sim-time-aware histograms.
+
+The paper's evaluation is driven entirely by live measurement (Section IV
+samples congestion windows every minute with ``ss``); an operator only
+trusts initial-window tuning they can watch in flight.  This module is
+the reproduction's equivalent surface: every layer registers counters
+(monotonic totals), gauges (last-written values with a high-water mark)
+and histograms (sample distributions with percentile readout) in one
+:class:`MetricsRegistry`, keyed by ``(name, labels)``.
+
+Instruments are cheap by construction — a counter increment is one
+attribute add on a cached handle — so they can sit on hot paths (one per
+simulated event, one per transmitted packet) without distorting the
+simulation's performance profile.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+#: Canonical form of a label set: sorted ``(key, value)`` pairs.
+LabelSet = tuple[tuple[str, str], ...]
+
+#: Percentiles reported by default in tables and exports.
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def _labelset(labels: Mapping[str, str]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_labels(labels: LabelSet) -> str:
+    """Render a label set Prometheus-style: ``{k=v,k2=v2}`` or ``""``."""
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    labels: LabelSet = ()
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-written value with a high-water mark."""
+
+    name: str
+    labels: LabelSet = ()
+    value: float = 0.0
+    max_value: float = 0.0
+    _written: bool = False
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if not self._written or value > self.max_value:
+            self.max_value = value
+        self._written = True
+
+
+@dataclass
+class Histogram:
+    """A sample distribution with exact percentile readout.
+
+    Samples are kept sorted (insertion via :mod:`bisect`), so quantiles
+    are exact rather than bucket-approximated.  Each observation may
+    carry the simulation time it was taken at; :meth:`observed_between`
+    slices the distribution by sim-time window, which is what lets one
+    histogram serve both whole-run and warmup-excluded readouts.
+    """
+
+    name: str
+    labels: LabelSet = ()
+    _sorted: list[float] = field(default_factory=list)
+    _timed: list[tuple[float, float]] = field(default_factory=list)
+    _sum: float = 0.0
+
+    def observe(self, value: float, t: float | None = None) -> None:
+        value = float(value)
+        bisect.insort(self._sorted, value)
+        self._sum += value
+        if t is not None:
+            self._timed.append((t, value))
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        if not self._sorted:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        return self._sum / len(self._sorted)
+
+    @property
+    def min(self) -> float:
+        if not self._sorted:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        return self._sorted[0]
+
+    @property
+    def max(self) -> float:
+        if not self._sorted:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        return self._sorted[-1]
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile ``p`` in [0, 100] (nearest-rank)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._sorted:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        rank = max(0, min(len(self._sorted) - 1, round(p / 100.0 * (len(self._sorted) - 1))))
+        return self._sorted[rank]
+
+    def observed_between(self, start: float, end: float) -> list[float]:
+        """Values observed with sim-time ``t`` in ``[start, end)``.
+
+        Only samples recorded with an explicit ``t`` participate.
+        """
+        return [v for t, v in self._timed if start <= t < end]
+
+    def values(self) -> list[float]:
+        """All samples, sorted ascending."""
+        return list(self._sorted)
+
+
+@dataclass(frozen=True)
+class MetricRow:
+    """One instrument flattened for tables and exports."""
+
+    kind: str
+    name: str
+    labels: LabelSet
+    fields: tuple[tuple[str, float], ...]
+
+
+class MetricsRegistry:
+    """All instruments of one run, keyed by ``(name, labels)``.
+
+    ``counter()``, ``gauge()`` and ``histogram()`` are get-or-create: the
+    first call registers the instrument (so it appears in readouts even
+    at zero), later calls return the same handle — callers on hot paths
+    should cache the handle rather than re-resolving each time.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelSet], Counter] = {}
+        self._gauges: dict[tuple[str, LabelSet], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelSet], Histogram] = {}
+
+    # -- get-or-create ---------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _labelset(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _labelset(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = (name, _labelset(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1])
+        return instrument
+
+    # -- readout ---------------------------------------------------------
+
+    def counters(self) -> list[Counter]:
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    def gauges(self) -> list[Gauge]:
+        return [self._gauges[k] for k in sorted(self._gauges)]
+
+    def histograms(self) -> list[Histogram]:
+        return [self._histograms[k] for k in sorted(self._histograms)]
+
+    def counter_value(self, name: str, **labels: str) -> int:
+        """Current value of a counter (0 when never registered)."""
+        instrument = self._counters.get((name, _labelset(labels)))
+        return instrument.value if instrument is not None else 0
+
+    def total(self, name: str) -> int:
+        """Sum of a counter across all of its label sets."""
+        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+
+    def snapshot(
+        self, percentiles: Iterable[float] = DEFAULT_PERCENTILES
+    ) -> list[MetricRow]:
+        """All instruments flattened to rows, sorted by kind then key."""
+        levels = tuple(percentiles)
+        rows: list[MetricRow] = []
+        for counter in self.counters():
+            rows.append(
+                MetricRow("counter", counter.name, counter.labels,
+                          (("value", float(counter.value)),))
+            )
+        for gauge in self.gauges():
+            rows.append(
+                MetricRow("gauge", gauge.name, gauge.labels,
+                          (("value", gauge.value), ("max", gauge.max_value)))
+            )
+        for histogram in self.histograms():
+            fields: list[tuple[str, float]] = [("count", float(histogram.count))]
+            if histogram.count:
+                fields.append(("mean", histogram.mean))
+                fields.extend(
+                    (f"p{level:g}", histogram.percentile(level)) for level in levels
+                )
+                fields.append(("max", histogram.max))
+            rows.append(MetricRow("histogram", histogram.name, histogram.labels, tuple(fields)))
+        return rows
+
+    def render_table(
+        self, percentiles: Iterable[float] = DEFAULT_PERCENTILES
+    ) -> str:
+        """Human-readable fixed-width metric table."""
+        rows = self.snapshot(percentiles)
+        if not rows:
+            return "(no metrics registered)"
+        rendered = [("KIND", "METRIC", "VALUE")]
+        for row in rows:
+            series = row.name + format_labels(row.labels)
+            fields = " ".join(f"{k}={_fmt(v)}" for k, v in row.fields)
+            rendered.append((row.kind, series, fields))
+        kind_w = max(len(r[0]) for r in rendered)
+        name_w = max(len(r[1]) for r in rendered)
+        return "\n".join(
+            f"{kind:<{kind_w}}  {name:<{name_w}}  {fields}"
+            for kind, name, fields in rendered
+        )
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"

@@ -1,0 +1,122 @@
+"""Structured trace of typed events.
+
+Where the metrics registry answers "how many / how large", the trace log
+answers "what happened, when, where": each record is one discrete system
+event — a route installed, an RTO fired, a connection opened at IW=N —
+with its simulation time, its source component, and typed detail fields.
+
+The log is a bounded ring (old events fall off) so long simulations do
+not accumulate unbounded state, but *totals per event type* are counted
+separately and never truncate — the auditor and the CLI metric readout
+rely on those totals.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter as TallyCounter
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class EventType(enum.Enum):
+    """The typed events the reproduction traces."""
+
+    ROUTE_INSTALLED = "route_installed"
+    ROUTE_WITHDRAWN = "route_withdrawn"
+    ROUTE_EXPIRED = "route_expired"
+    ADVISORY_START = "advisory_start"
+    ADVISORY_END = "advisory_end"
+    RTO_FIRED = "rto_fired"
+    FAST_RETRANSMIT = "fast_retransmit"
+    CONN_OPENED = "conn_opened"
+    AUDIT_DIVERGENCE = "audit_divergence"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    type: EventType
+    source: str
+    details: tuple[tuple[str, object], ...] = ()
+
+    def detail(self, key: str, default: object = None) -> object:
+        for k, v in self.details:
+            if k == key:
+                return v
+        return default
+
+    def format(self) -> str:
+        detail_text = " ".join(f"{k}={v}" for k, v in self.details)
+        return f"[{self.time:.6f}] {self.type.value} {self.source} {detail_text}".rstrip()
+
+
+@dataclass
+class TraceLog:
+    """Bounded ring of :class:`TraceEvent` with untruncated type totals."""
+
+    capacity: int = 10_000
+    _events: deque = field(default_factory=deque, repr=False)
+    _totals: TallyCounter = field(default_factory=TallyCounter, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        self._events = deque(maxlen=self.capacity)
+
+    def record(
+        self, time: float, type: EventType, source: str, **details: object
+    ) -> TraceEvent:
+        """Append one event (oldest events fall off past ``capacity``)."""
+        event = TraceEvent(
+            time=time, type=type, source=source, details=tuple(details.items())
+        )
+        self._events.append(event)
+        self._totals[type] += 1
+        return event
+
+    def events(
+        self,
+        type: EventType | None = None,
+        source: str | None = None,
+        since: float | None = None,
+    ) -> list[TraceEvent]:
+        """Retained events, optionally filtered by type/source/time."""
+        selected = []
+        for event in self._events:
+            if type is not None and event.type is not type:
+                continue
+            if source is not None and event.source != source:
+                continue
+            if since is not None and event.time < since:
+                continue
+            selected.append(event)
+        return selected
+
+    def count(self, type: EventType) -> int:
+        """Total events of one type ever recorded (not ring-limited)."""
+        return self._totals[type]
+
+    def totals(self) -> dict[EventType, int]:
+        """Total events per type ever recorded (not ring-limited)."""
+        return dict(self._totals)
+
+    def last(self, type: EventType | None = None) -> TraceEvent | None:
+        """Most recent retained event (of one type, when given)."""
+        if type is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.type is type:
+                return event
+        return None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceLog retained={len(self._events)}/{self.capacity} "
+            f"recorded={sum(self._totals.values())}>"
+        )

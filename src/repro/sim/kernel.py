@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.obs.instrument import Instrumentation, instrumentation_for_new_simulator
 from repro.sim.errors import SchedulingError
 from repro.sim.events import Event, EventQueue
 
@@ -18,12 +19,26 @@ from repro.sim.events import Event, EventQueue
 class Simulator:
     """Discrete-event simulator with a float-seconds clock."""
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
         self._now = float(start_time)
         self._queue = EventQueue()
         self._seq = 0
         self._running = False
         self._events_processed = 0
+        #: Metrics registry + trace log.  Inside a ``repro.obs.capture()``
+        #: block this is the shared aggregate; otherwise private per run.
+        self.obs = (
+            instrumentation
+            if instrumentation is not None
+            else instrumentation_for_new_simulator()
+        )
+        self._m_processed = self.obs.metrics.counter("sim_events_processed")
+        self._m_cancelled = self.obs.metrics.counter("sim_events_cancelled")
+        self._g_queue_depth = self.obs.metrics.gauge("sim_queue_depth")
 
     @property
     def now(self) -> float:
@@ -76,6 +91,7 @@ class Simulator:
         if not event.cancelled:
             event.cancel()
             self._queue.note_cancelled()
+            self._m_cancelled.inc()
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Execute events in time order.
@@ -100,6 +116,8 @@ class Simulator:
                 self._now = event.time
                 event.callback(*event.args)
                 self._events_processed += 1
+                self._m_processed.inc()
+                self._g_queue_depth.set(len(self._queue))
                 executed += 1
         finally:
             self._running = False

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.net.addresses import IPv4Address
 from repro.net.packet import Packet
+from repro.obs.trace import EventType
 from repro.sim.events import Event
 from repro.tcp.cc import make_congestion_control
 from repro.tcp.constants import (
@@ -180,6 +181,15 @@ class TcpSocket:
         self.rtos_fired = 0
         self.fast_retransmits = 0
         self._consecutive_rtos = 0
+
+        # --- instrumentation (handles cached; see repro.obs) ---------------
+        obs = host.sim.obs
+        self._trace = obs.trace
+        self._m_retransmitted = obs.metrics.counter("tcp_segments_retransmitted")
+        self._m_rtos = obs.metrics.counter("tcp_rtos_fired")
+        self._m_fast_rexmit = obs.metrics.counter("tcp_fast_retransmits")
+        self._m_opened = obs.metrics.counter("tcp_connections_opened")
+        self._h_cwnd_at_close = obs.metrics.histogram("tcp_cwnd_at_close")
 
     # ------------------------------------------------------------------
     # public API
@@ -366,6 +376,15 @@ class TcpSocket:
     def _become_established(self) -> None:
         self.state = TcpState.ESTABLISHED
         self.established_at = self._sim.now
+        self._m_opened.inc()
+        self._trace.record(
+            self._sim.now,
+            EventType.CONN_OPENED,
+            self._host.name,
+            remote=str(self.remote_address),
+            initial_cwnd=self.cc.initial_cwnd,
+            is_client=self.is_client,
+        )
         if self.on_established is not None:
             self.on_established(self)
 
@@ -431,6 +450,14 @@ class TcpSocket:
         self.cc.cwnd = max(self.cc.ssthresh, 1.0)
         self._recovery_inflation = DUPACK_THRESHOLD
         self.fast_retransmits += 1
+        self._m_fast_rexmit.inc()
+        self._trace.record(
+            self._sim.now,
+            EventType.FAST_RETRANSMIT,
+            self._host.name,
+            remote=str(self.remote_address),
+            cwnd=self.cc.cwnd_segments,
+        )
         if self._config.sack:
             self._retransmit_sack_holes()
         else:
@@ -798,6 +825,7 @@ class TcpSocket:
         entry.retransmitted = True
         entry.last_sent_at = self._sim.now
         self.segments_retransmitted += 1
+        self._m_retransmitted.inc()
         with_ack = self.state is not TcpState.SYN_SENT
         segment = Segment(
             src_port=self.local_port,
@@ -862,6 +890,14 @@ class TcpSocket:
             return
         self.rtos_fired += 1
         self._consecutive_rtos += 1
+        self._m_rtos.inc()
+        self._trace.record(
+            self._sim.now,
+            EventType.RTO_FIRED,
+            self._host.name,
+            remote=str(self.remote_address),
+            consecutive=self._consecutive_rtos,
+        )
         self._rtt.back_off()
         in_handshake = self.state in (TcpState.SYN_SENT, TcpState.SYN_RCVD)
         retry_limit = self.MAX_SYN_RETRIES if in_handshake else self.MAX_DATA_RETRIES
@@ -891,6 +927,8 @@ class TcpSocket:
             callback(self, reason)
 
     def _teardown(self, notify: bool) -> None:
+        if self.established_at is not None:
+            self._h_cwnd_at_close.observe(self.cc.cwnd_segments, t=self._sim.now)
         self.state = TcpState.CLOSED
         self._cancel_rto()
         self._cancel_delack()

@@ -127,6 +127,26 @@ class TestAgentIntegration:
         assert scaled == 50
         assert agent.current_advisory_scale() == 0.5
 
+    def test_advisory_scales_after_clamping(self):
+        """The advisory scales the *clamped* window (module doc contract).
+
+        The raw combined window here is far above ``c_max``; scaling
+        before clamping would leave the installed route pinned at
+        ``c_max``, making the advisory a no-op exactly when an operator
+        most wants conservatism.
+        """
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        request_response(bed, response_bytes=1_000_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        agent.advise_conservative(scale=0.5, duration=30.0, reason="drill")
+        bed.sim.run(until=bed.sim.now + 1.0)
+        route = bed.server.ip.route_get(bed.client.address)
+        assert route is not None
+        assert route.initcwnd == agent.config.c_max // 2
+        assert route.initcwnd < agent.config.c_max
+
     def test_advisory_expiry_restores_windows(self):
         bed = make_testbed()
         agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))

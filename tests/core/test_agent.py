@@ -134,6 +134,46 @@ class TestAgentLifecycle:
         assert len(bed.server.route_table) == 0
         assert not agent.running
 
+    def test_stop_clears_learned_state(self):
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        request_response(bed, response_bytes=300_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        assert len(agent.learned_table()) == 1
+        agent.stop()
+        assert len(agent.learned_table()) == 0
+        assert agent.stats.routes_withdrawn == 1
+
+    def test_restart_reinstalls_routes(self):
+        """Regression: ``stop()`` used to strand learned entries.
+
+        The routes were withdrawn but the learned table kept the old
+        windows, so a restarted agent recomputing the *same* window saw
+        "no change" and never reinstalled the route — connections
+        silently ran at the kernel default.
+        """
+        bed = make_testbed()
+        agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))
+        agent.start()
+        # A large transfer pushes the live window far past c_max, so the
+        # learned window sits pinned at exactly c_max across ticks — the
+        # stable-window case that masked the missing reinstall.
+        request_response(bed, response_bytes=1_000_000)
+        bed.sim.run(until=bed.sim.now + 2.0)
+        key = Prefix.host(bed.client.address)
+        window = agent.learned_window_for(key)
+        assert window == agent.config.c_max
+
+        agent.stop()
+        assert bed.server.ip.route_get(bed.client.address) is None
+
+        agent.start()
+        bed.sim.run(until=bed.sim.now + 1.0)
+        route = bed.server.ip.route_get(bed.client.address)
+        assert route is not None
+        assert route.initcwnd == window
+
     def test_stop_can_keep_routes(self):
         bed = make_testbed()
         agent = RiptideAgent(bed.server, RiptideConfig(update_interval=0.5))

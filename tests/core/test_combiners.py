@@ -89,6 +89,18 @@ class TestFactory:
         with pytest.raises(ValueError):
             make_combiner("median")
 
+    def test_unknown_error_lists_known_names(self):
+        with pytest.raises(
+            ValueError,
+            match=r"unknown combiner 'median' "
+            r"\(known: average, max, traffic_weighted\)",
+        ) as excinfo:
+            make_combiner("median")
+        # ``from None``: the internal KeyError must not leak into the
+        # traceback a user sees for a config typo.
+        assert excinfo.value.__suppress_context__
+        assert excinfo.value.__cause__ is None
+
 
 observation_lists = st.lists(
     st.builds(

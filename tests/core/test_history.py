@@ -99,6 +99,18 @@ class TestFactory:
         with pytest.raises(ValueError):
             make_history_policy("kalman", 0.7, 5)
 
+    def test_unknown_error_lists_known_names(self):
+        with pytest.raises(
+            ValueError,
+            match=r"unknown history policy 'kalman' "
+            r"\(known: ewma, none, windowed\)",
+        ) as excinfo:
+            make_history_policy("kalman", 0.7, 5)
+        # ``from None``: the internal KeyError must not leak into the
+        # traceback a user sees for a config typo.
+        assert excinfo.value.__suppress_context__
+        assert excinfo.value.__cause__ is None
+
 
 values = st.lists(st.floats(min_value=1.0, max_value=1000.0), min_size=1, max_size=50)
 

@@ -97,6 +97,23 @@ class TestRouteTable:
         table.update_attributes(Prefix.parse("10.0.0.0/24"), initcwnd=70)
         assert table.lookup(IPv4Address("10.0.0.1")).initcwnd == 70
 
+    def test_update_attributes_preserves_unspecified(self):
+        """Regression: updating one attribute used to clobber the rest."""
+        table = RouteTable()
+        table.add(entry("10.0.0.0/24", initcwnd=10, initrwnd=200))
+        table.update_attributes(Prefix.parse("10.0.0.0/24"), initcwnd=70)
+        updated = table.lookup(IPv4Address("10.0.0.1"))
+        assert updated.initcwnd == 70
+        assert updated.initrwnd == 200
+
+    def test_update_attributes_explicit_none_still_clears(self):
+        table = RouteTable()
+        table.add(entry("10.0.0.0/24", initcwnd=10, initrwnd=200))
+        table.update_attributes(Prefix.parse("10.0.0.0/24"), initrwnd=None)
+        updated = table.lookup(IPv4Address("10.0.0.1"))
+        assert updated.initcwnd == 10  # untouched
+        assert updated.initrwnd is None  # explicitly cleared
+
     def test_get_exact_prefix_only(self):
         table = RouteTable()
         table.add(entry("10.0.0.0/24", initcwnd=10))

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import _normalize_experiment_id, main
+from repro.experiments.registry import EXPERIMENTS, Experiment
 
 
 class TestList:
@@ -47,3 +50,60 @@ class TestRun:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+def _tiny_simulation():
+    """A test-only simulation-backed experiment: one small transfer."""
+    from repro.testing import TwoHostTestbed, request_response
+
+    bed = TwoHostTestbed(rtt=0.050, bandwidth_bps=1e9)
+    bed.serve_echo()
+    request_response(bed, response_bytes=50_000)
+
+
+@pytest.fixture
+def tiny_experiment(monkeypatch):
+    monkeypatch.setitem(
+        EXPERIMENTS,
+        "tiny",
+        Experiment("tiny", "test-only transfer", _tiny_simulation, True),
+    )
+
+
+class TestMetrics:
+    def test_metrics_captures_a_simulation_run(self, capsys, tiny_experiment):
+        assert main(["metrics", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "tcp_connections_opened" in out
+        assert "sim_events_processed" in out
+        assert "trace event totals" in out
+        assert "conn_opened" in out
+
+    def test_metrics_json_is_one_document(self, capsys, tiny_experiment):
+        assert main(["metrics", "tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "tiny"
+        metric_names = {row["metric"] for row in payload["metrics"]}
+        assert "tcp_connections_opened" in metric_names
+        assert payload["trace"]["totals"]["conn_opened"] >= 1
+
+    def test_metrics_csv_written(self, capsys, tiny_experiment, tmp_path):
+        target = tmp_path / "metrics.csv"
+        assert main(["metrics", "tiny", "--csv", str(target)]) == 0
+        lines = target.read_text().splitlines()
+        assert lines[0] == "kind,metric,labels,field,value"
+        assert any("tcp_connections_opened" in line for line in lines[1:])
+
+    def test_metrics_model_experiment_has_no_instruments(self, capsys):
+        assert main(["metrics", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "no metrics registered" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["metrics", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_accepts_harness_module_names(self):
+        assert _normalize_experiment_id("fig10_cmax_sweep") == "fig10"
+        assert _normalize_experiment_id("fig10") == "fig10"
+        assert _normalize_experiment_id("nope") == "nope"
