@@ -1,0 +1,226 @@
+"""The tracked performance baseline (``python -m repro bench``).
+
+Runs a fixed set of micro- and macro-benchmarks over the simulator hot
+path and the parallel executor, and writes the readings to a JSON file
+(``BENCH_002.json`` by default) so subsequent changes have a perf
+trajectory to regress against:
+
+* **kernel** — raw event throughput of ``Simulator.run`` on a
+  self-rescheduling timer chain, with instrumentation enabled and with
+  the disabled no-op fast path;
+* **tcp_transfer** — events/sec through the full stack (links, sockets,
+  congestion control) on back-to-back 200 KB transfers;
+* **probe_study** — wall time of a reduced paired probe study, the
+  workhorse scenario behind Figures 12-16;
+* **multiseed_sweep** — wall time of the same per-seed run serially and
+  under a 4-worker pool, the speedup between them, and whether the two
+  sweeps produced byte-identical values (they must).
+
+Readings are wall-clock dependent; the JSON records the host's CPU
+count and Python version so trajectories compare like with like.  On a
+single-core host the sweep speedup hovers around 1x — the
+``bit_identical`` flag and the per-section events/sec are the portable
+signals there.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any
+
+from repro.experiments.multiseed import sweep_seeds
+from repro.experiments.scenarios import ProbeStudyConfig, run_paired_probe_study
+from repro.obs import capture, disabled
+from repro.sim.kernel import Simulator
+
+#: Bench schema tag; bump when the JSON layout changes.
+BENCH_NAME = "BENCH_002"
+
+#: Default output path, relative to the invoking directory.
+DEFAULT_OUTPUT = "BENCH_002.json"
+
+#: Reduced probe-study config used by the study and sweep sections: big
+#: enough to exercise every layer, small enough to finish in seconds.
+_BENCH_STUDY = ProbeStudyConfig(
+    topology_codes=("LHR", "JFK", "NRT"),
+    source_pops=("LHR",),
+    warmup=5.0,
+    duration=15.0,
+    probe_interval=5.0,
+    organic_rate=2.0,
+)
+
+
+def _timer_chain(sim: Simulator, events: int) -> None:
+    """Schedule a self-rescheduling callback chain of ``events`` events."""
+
+    def tick(remaining: int) -> None:
+        if remaining:
+            sim.schedule(1e-6, tick, remaining - 1)
+
+    sim.schedule(1e-6, tick, events - 1)
+    sim.run_until_idle()
+
+
+def bench_kernel(events: int = 300_000) -> dict[str, Any]:
+    """Raw kernel throughput, instrumented vs the disabled fast path."""
+    with capture():
+        sim = Simulator()
+        started = time.perf_counter()
+        _timer_chain(sim, events)
+        instrumented = time.perf_counter() - started
+    with disabled():
+        sim = Simulator()
+        started = time.perf_counter()
+        _timer_chain(sim, events)
+        uninstrumented = time.perf_counter() - started
+    return {
+        "events": events,
+        "instrumented_events_per_sec": round(events / instrumented, 1),
+        "disabled_events_per_sec": round(events / uninstrumented, 1),
+    }
+
+
+def bench_tcp_transfer(transfers: int = 40, response_bytes: int = 200_000) -> dict[str, Any]:
+    """Full-stack events/sec: repeated transfers on a two-host testbed."""
+    from repro.testing import TwoHostTestbed, request_response
+
+    bed = TwoHostTestbed(rtt=0.050)
+    bed.serve_echo()
+    started = time.perf_counter()
+    for _ in range(transfers):
+        request_response(bed, response_bytes=response_bytes)
+    elapsed = time.perf_counter() - started
+    return {
+        "transfers": transfers,
+        "events": bed.sim.events_processed,
+        "events_per_sec": round(bed.sim.events_processed / elapsed, 1),
+        "wall_time_s": round(elapsed, 4),
+    }
+
+
+def bench_probe_study(config: ProbeStudyConfig | None = None) -> dict[str, Any]:
+    """Wall time of one serial paired probe study (both arms)."""
+    config = config if config is not None else _BENCH_STUDY
+    started = time.perf_counter()
+    control, riptide = run_paired_probe_study(config)
+    elapsed = time.perf_counter() - started
+    return {
+        "wall_time_s": round(elapsed, 4),
+        "events_processed": (
+            control.cluster.sim.events_processed
+            + riptide.cluster.sim.events_processed
+        ),
+        "probes_completed": (
+            len(control.fleet.completed_results())
+            + len(riptide.fleet.completed_results())
+        ),
+    }
+
+
+def _sweep_metric(seed: int) -> float:
+    """Per-seed sweep workload: mean 100 KB probe time of a small arm."""
+    from repro.experiments.scenarios import run_probe_arm
+
+    run = run_probe_arm(replace_seed(_BENCH_STUDY, seed), riptide_enabled=False)
+    times = run.fleet.completion_times(size_bytes=100_000)
+    return sum(times) / len(times) if times else 0.0
+
+
+def replace_seed(config: ProbeStudyConfig, seed: int) -> ProbeStudyConfig:
+    from dataclasses import replace
+
+    return replace(config, seed=seed)
+
+
+def bench_multiseed_sweep(workers: int = 4, seeds: int = 8) -> dict[str, Any]:
+    """Serial vs parallel wall time of a multi-seed stability sweep."""
+    seed_list = list(range(1, seeds + 1))
+    started = time.perf_counter()
+    serial = sweep_seeds("bench_probe_mean", seed_list, _sweep_metric, workers=1)
+    serial_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = sweep_seeds(
+        "bench_probe_mean", seed_list, _sweep_metric, workers=workers
+    )
+    parallel_wall = time.perf_counter() - started
+    return {
+        "seeds": seeds,
+        "workers": workers,
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 3) if parallel_wall else 0.0,
+        "bit_identical": serial.values == parallel.values,
+    }
+
+
+def run_bench(
+    workers: int = 4,
+    seeds: int = 8,
+    smoke: bool = False,
+) -> dict[str, Any]:
+    """Run every section; ``smoke`` shrinks each to a CI-sized round."""
+    from dataclasses import replace
+    import os
+
+    if smoke:
+        kernel = bench_kernel(events=60_000)
+        transfer = bench_tcp_transfer(transfers=10)
+        study_config = replace(_BENCH_STUDY, warmup=5.0, duration=10.0)
+        study = bench_probe_study(study_config)
+        sweep = bench_multiseed_sweep(workers=min(workers, 2), seeds=min(seeds, 2))
+    else:
+        kernel = bench_kernel()
+        transfer = bench_tcp_transfer()
+        study = bench_probe_study()
+        sweep = bench_multiseed_sweep(workers=workers, seeds=seeds)
+    return {
+        "benchmark": BENCH_NAME,
+        "smoke": smoke,
+        "unix_time": round(time.time(), 1),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+        },
+        "kernel": kernel,
+        "tcp_transfer": transfer,
+        "probe_study": study,
+        "multiseed_sweep": sweep,
+    }
+
+
+def write_bench(payload: dict[str, Any], path: str = DEFAULT_OUTPUT) -> str:
+    """Write the bench payload as indented JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def format_bench(payload: dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a bench payload."""
+    kernel = payload["kernel"]
+    transfer = payload["tcp_transfer"]
+    study = payload["probe_study"]
+    sweep = payload["multiseed_sweep"]
+    lines = [
+        f"== {payload['benchmark']}"
+        + (" (smoke)" if payload.get("smoke") else "")
+        + f" on {payload['host']['cpu_count']} cpu ==",
+        (
+            f"kernel:        {kernel['instrumented_events_per_sec']:>12,.0f} ev/s"
+            f" instrumented, {kernel['disabled_events_per_sec']:,.0f} ev/s disabled"
+        ),
+        f"tcp transfer:  {transfer['events_per_sec']:>12,.0f} ev/s full stack",
+        f"probe study:   {study['wall_time_s']:>12.2f} s wall (paired, serial)",
+        (
+            f"seed sweep:    {sweep['serial_wall_s']:>12.2f} s serial vs "
+            f"{sweep['parallel_wall_s']:.2f} s with {sweep['workers']} workers "
+            f"({sweep['speedup']:.2f}x, bit-identical={sweep['bit_identical']})"
+        ),
+    ]
+    return "\n".join(lines)

@@ -28,7 +28,9 @@ __all__ = [
     "PAPER_PROBE_SIZES",
     "ProbeFleet",
     "ProbeResult",
+    "ProbeResultSet",
     "RTT_BUCKETS",
+    "filter_probe_results",
     "rtt_bucket",
 ]
 
@@ -61,6 +63,55 @@ class ProbeResult:
     @property
     def new_connection(self) -> bool:
         return self.transfer.new_connection
+
+
+def filter_probe_results(
+    results: list[ProbeResult],
+    size_bytes: int | None = None,
+    bucket: str | None = None,
+    source_pop: str | None = None,
+    new_connections_only: bool = False,
+) -> list[ProbeResult]:
+    """Completed probes filtered by size / RTT bucket / source."""
+    selected = []
+    for probe in results:
+        if not probe.completed:
+            continue
+        if size_bytes is not None and probe.size_bytes != size_bytes:
+            continue
+        if bucket is not None and probe.bucket != bucket:
+            continue
+        if source_pop is not None and probe.source_pop != source_pop:
+            continue
+        if new_connections_only and not probe.new_connection:
+            continue
+        selected.append(probe)
+    return selected
+
+
+@dataclass
+class ProbeResultSet:
+    """A detached, picklable batch of probe measurements.
+
+    Exposes the same analysis accessors as a live :class:`ProbeFleet`
+    (``completed_results``, ``completion_times``), so the figure
+    harnesses work identically on a live fleet and on results shipped
+    back from a parallel worker process (:mod:`repro.parallel`).
+    """
+
+    results: list[ProbeResult]
+    rounds_issued: int = 0
+
+    def completed_results(self, **filters) -> list[ProbeResult]:
+        """Completed probes filtered by size / RTT bucket / source."""
+        return filter_probe_results(self.results, **filters)
+
+    def completion_times(self, **filters) -> list[float]:
+        """Total transfer times of the matching completed probes."""
+        return [probe.total_time for probe in self.completed_results(**filters)]
+
+    def __len__(self) -> int:
+        return len(self.results)
 
 
 @dataclass
@@ -201,32 +252,19 @@ class ProbeFleet:
     # analysis accessors
     # ------------------------------------------------------------------
 
-    def completed_results(
-        self,
-        size_bytes: int | None = None,
-        bucket: str | None = None,
-        source_pop: str | None = None,
-        new_connections_only: bool = False,
-    ) -> list[ProbeResult]:
+    def completed_results(self, **filters) -> list[ProbeResult]:
         """Completed probes filtered by size / RTT bucket / source."""
-        selected = []
-        for probe in self.results:
-            if not probe.completed:
-                continue
-            if size_bytes is not None and probe.size_bytes != size_bytes:
-                continue
-            if bucket is not None and probe.bucket != bucket:
-                continue
-            if source_pop is not None and probe.source_pop != source_pop:
-                continue
-            if new_connections_only and not probe.new_connection:
-                continue
-            selected.append(probe)
-        return selected
+        return filter_probe_results(self.results, **filters)
 
     def completion_times(self, **filters) -> list[float]:
         """Total transfer times of the matching completed probes."""
         return [probe.total_time for probe in self.completed_results(**filters)]
+
+    def result_set(self) -> ProbeResultSet:
+        """Detach the measurements into a picklable result set."""
+        return ProbeResultSet(
+            results=list(self.results), rounds_issued=self.rounds_issued
+        )
 
     def __repr__(self) -> str:
         return (

@@ -5,8 +5,10 @@
     python -m repro list                 # all registered experiments
     python -m repro run fig03            # regenerate one figure/table
     python -m repro run fig10 --fast     # reduced-scale simulation run
+    python -m repro run fig10 --workers 4  # fan the sweep across processes
     python -m repro describe fig12_14    # what an experiment reproduces
     python -m repro metrics fig10        # run + print the metric table
+    python -m repro bench                # perf baseline -> BENCH_002.json
 
 ``run`` prints the same rows/series the corresponding paper figure or
 table reports.  ``metrics`` runs the experiment under an instrumentation
@@ -59,6 +61,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fast",
         action="store_true",
         help="reduced-scale run (smaller topology / fewer samples)",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent simulation arms across N worker processes "
+        "(experiments that support it; results are identical to serial)",
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the perf baseline and write it to a JSON file",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output JSON path (default: BENCH_002.json)",
+    )
+    bench_parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker count for the sweep section (default: 4)",
+    )
+    bench_parser.add_argument(
+        "--seeds",
+        type=int,
+        default=8,
+        metavar="N",
+        help="seed count for the sweep section (default: 8)",
+    )
+    bench_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one short round of each section (CI smoke)",
     )
 
     describe_parser = subparsers.add_parser(
@@ -140,9 +180,18 @@ def _fast_kwargs(experiment_id: str) -> dict:
     return dict(_FAST_OVERRIDES.get(experiment_id, {}))
 
 
-def _cmd_run(experiment_id: str, fast: bool) -> int:
+def _cmd_run(experiment_id: str, fast: bool, workers: int = 1) -> int:
     exp = get_experiment(experiment_id)
     kwargs = _fast_kwargs(experiment_id) if fast else {}
+    if workers > 1:
+        if exp.supports_workers:
+            kwargs["workers"] = workers
+        else:
+            print(
+                f"note: {experiment_id} has no independent simulation arms; "
+                "running serially",
+                file=sys.stderr,
+            )
     if exp.simulation_backed:
         print(f"running {experiment_id} (full simulation; this takes a while)...")
     started = time.perf_counter()
@@ -197,6 +246,17 @@ def _cmd_metrics(experiment_id: str, fast: bool, as_json: bool, csv_path: str | 
     return 0
 
 
+def _cmd_bench(out: str | None, workers: int, seeds: int, smoke: bool) -> int:
+    from repro.bench import DEFAULT_OUTPUT, format_bench, run_bench, write_bench
+
+    print("running perf baseline (this takes a while)...", file=sys.stderr)
+    payload = run_bench(workers=workers, seeds=seeds, smoke=smoke)
+    path = write_bench(payload, out if out is not None else DEFAULT_OUTPUT)
+    print(format_bench(payload))
+    print(f"\nbench written to {path}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -205,10 +265,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_describe(args.experiment_id)
     if args.command == "run":
         try:
-            return _cmd_run(args.experiment_id, args.fast)
+            return _cmd_run(args.experiment_id, args.fast, args.workers)
         except KeyError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    if args.command == "bench":
+        return _cmd_bench(args.out, args.workers, args.seeds, args.smoke)
     if args.command == "metrics":
         try:
             return _cmd_metrics(

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from repro.analysis.tables import format_table
 from repro.experiments.scenarios import (
     EU_SOURCE,
+    ProbeStudyArm,
     ProbeStudyConfig,
-    ProbeStudyRun,
     run_paired_probe_study,
 )
 
@@ -87,8 +87,8 @@ class EdgeCasesResult:
 
 
 def build_result(
-    control: ProbeStudyRun,
-    riptide: ProbeStudyRun,
+    control: ProbeStudyArm,
+    riptide: ProbeStudyArm,
     source_pop: str = EU_SOURCE,
     size_bytes: int = PROBE_BYTES,
 ) -> EdgeCasesResult:
@@ -130,6 +130,6 @@ def build_result(
     return EdgeCasesResult(source_pop=source_pop, destinations=extremes)
 
 
-def run(config: ProbeStudyConfig | None = None) -> EdgeCasesResult:
-    control, riptide = run_paired_probe_study(config)
+def run(config: ProbeStudyConfig | None = None, workers: int = 1) -> EdgeCasesResult:
+    control, riptide = run_paired_probe_study(config, workers=workers)
     return build_result(control, riptide)

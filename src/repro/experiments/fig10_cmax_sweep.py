@@ -104,16 +104,38 @@ def run(
     warmup: float = 10.0,
     organic_rate: float = 3.0,
     seed: int = 42,
+    workers: int = 1,
 ) -> Fig10Result:
+    """Run the control group plus one deployment per ``c_max`` value.
+
+    The deployments are independent simulations sharing a seed, so with
+    ``workers`` > 1 they fan out across forked worker processes
+    (:mod:`repro.parallel`) and produce byte-identical CDFs to the
+    serial sweep, in the same control-first order.
+    """
     topology = sub_topology(topology_codes)
-    cdfs: dict[int, EmpiricalCdf] = {}
-    cdfs[CONTROL] = run_single(
-        None, topology, duration=duration, warmup=warmup,
-        organic_rate=organic_rate, seed=seed,
-    )
-    for c_max in c_max_values:
-        cdfs[c_max] = run_single(
+    arms: list[int | None] = [None, *c_max_values]
+
+    def make_task(c_max: int | None):
+        return lambda: run_single(
             c_max, topology, duration=duration, warmup=warmup,
             organic_rate=organic_rate, seed=seed,
         )
+
+    if workers > 1:
+        from repro.parallel import run_tasks
+
+        results = run_tasks(
+            [make_task(c_max) for c_max in arms],
+            workers=workers,
+            labels=[
+                "fig10:control" if c is None else f"fig10:c_max={c}" for c in arms
+            ],
+        )
+    else:
+        results = [make_task(c_max)() for c_max in arms]
+    cdfs: dict[int, EmpiricalCdf] = {
+        (CONTROL if c_max is None else c_max): cdf
+        for c_max, cdf in zip(arms, results)
+    }
     return Fig10Result(cdfs=cdfs)

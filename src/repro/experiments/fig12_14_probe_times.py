@@ -17,8 +17,8 @@ from repro.analysis.cdf import EmpiricalCdf
 from repro.analysis.tables import format_table
 from repro.cdn.probes import PAPER_PROBE_SIZES, RTT_BUCKETS
 from repro.experiments.scenarios import (
+    ProbeStudyArm,
     ProbeStudyConfig,
-    ProbeStudyRun,
     run_paired_probe_study,
 )
 
@@ -119,8 +119,8 @@ class Fig1214Result:
 
 
 def build_result(
-    control: ProbeStudyRun,
-    riptide: ProbeStudyRun,
+    control: ProbeStudyArm,
+    riptide: ProbeStudyArm,
     sizes: tuple[int, ...] = PAPER_PROBE_SIZES,
 ) -> Fig1214Result:
     """Assemble the per-(size, bucket) comparisons from a paired study."""
@@ -142,6 +142,6 @@ def build_result(
     return Fig1214Result(cells=cells)
 
 
-def run(config: ProbeStudyConfig | None = None) -> Fig1214Result:
-    control, riptide = run_paired_probe_study(config)
+def run(config: ProbeStudyConfig | None = None, workers: int = 1) -> Fig1214Result:
+    control, riptide = run_paired_probe_study(config, workers=workers)
     return build_result(control, riptide)

@@ -16,8 +16,8 @@ from repro.analysis.tables import format_table
 from repro.experiments.scenarios import (
     EU_SOURCE,
     NA_SOURCE,
+    ProbeStudyArm,
     ProbeStudyConfig,
-    ProbeStudyRun,
     run_paired_probe_study,
 )
 
@@ -67,8 +67,8 @@ class Fig1516Result:
 
 
 def build_result(
-    control: ProbeStudyRun,
-    riptide: ProbeStudyRun,
+    control: ProbeStudyArm,
+    riptide: ProbeStudyArm,
     sizes: tuple[int, ...] = PROFILE_SIZES,
     source_pops: tuple[str, ...] = (EU_SOURCE, NA_SOURCE),
     step: float = 5.0,
@@ -88,6 +88,6 @@ def build_result(
     return Fig1516Result(profiles=profiles)
 
 
-def run(config: ProbeStudyConfig | None = None) -> Fig1516Result:
-    control, riptide = run_paired_probe_study(config)
+def run(config: ProbeStudyConfig | None = None, workers: int = 1) -> Fig1516Result:
+    control, riptide = run_paired_probe_study(config, workers=workers)
     return build_result(control, riptide)

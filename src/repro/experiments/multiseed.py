@@ -60,11 +60,31 @@ def sweep_seeds(
     metric_name: str,
     seeds: Sequence[int],
     run_metric: Callable[[int], float],
+    workers: int = 1,
 ) -> SeedSweepResult:
-    """Evaluate ``run_metric(seed)`` for each seed."""
+    """Evaluate ``run_metric(seed)`` for each seed.
+
+    With ``workers`` > 1 the per-seed runs fan out across a pool of
+    forked worker processes (:mod:`repro.parallel`).  Each run is a pure
+    function of its seed, so the parallel sweep returns byte-identical
+    values in identical seed order to the serial sweep; a seed whose
+    runner raises surfaces as a
+    :class:`~repro.parallel.WorkerFailure` naming that seed.
+    """
     if not seeds:
         raise ValueError("sweep_seeds needs at least one seed")
-    values = tuple(float(run_metric(seed)) for seed in seeds)
+    if workers > 1:
+        from repro.parallel import run_tasks
+
+        values = tuple(
+            run_tasks(
+                [lambda seed=seed: float(run_metric(seed)) for seed in seeds],
+                workers=workers,
+                labels=[f"{metric_name}[seed={seed}]" for seed in seeds],
+            )
+        )
+    else:
+        values = tuple(float(run_metric(seed)) for seed in seeds)
     return SeedSweepResult(
         metric_name=metric_name, seeds=tuple(seeds), values=values
     )

@@ -30,6 +30,10 @@ class Experiment:
     description: str
     run: Callable
     simulation_backed: bool
+    #: Whether ``run`` accepts a ``workers=N`` keyword that fans its
+    #: independent simulations out across a process pool
+    #: (:mod:`repro.parallel`).
+    supports_workers: bool = False
 
 
 EXPERIMENTS: dict[str, Experiment] = {
@@ -76,6 +80,7 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Live congestion windows for c_max in {50..250} + control",
             fig10_cmax_sweep.run,
             simulation_backed=True,
+            supports_workers=True,
         ),
         Experiment(
             "fig11",
@@ -88,18 +93,21 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Probe completion-time CDFs by size and RTT bucket",
             fig12_14_probe_times.run,
             simulation_backed=True,
+            supports_workers=True,
         ),
         Experiment(
             "fig15_16",
             "Fraction of gain by percentile for 50/100 KB probes",
             fig15_16_percentile_gain.run,
             simulation_backed=True,
+            supports_workers=True,
         ),
         Experiment(
             "edge_cases",
             "Best/worst-case probe times per destination (Section IV-D)",
             edge_cases.run,
             simulation_backed=True,
+            supports_workers=True,
         ),
         Experiment(
             "ext_diurnal",

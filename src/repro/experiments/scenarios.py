@@ -11,9 +11,10 @@ the number of samples shrinks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Union
 
 from repro.cdn.cluster import CdnCluster, ClusterConfig
-from repro.cdn.probes import ProbeFleet
+from repro.cdn.probes import ProbeFleet, ProbeResultSet
 from repro.cdn.topology import Topology, build_paper_topology
 from repro.cdn.workload import OrganicWorkloadConfig
 from repro.core.config import RiptideConfig
@@ -101,6 +102,40 @@ class ProbeStudyRun:
     fleet: ProbeFleet
     riptide_enabled: bool
 
+    def summary(self) -> "ProbeArmSummary":
+        """Detach the picklable measurements from the live cluster."""
+        return ProbeArmSummary(
+            fleet=self.fleet.result_set(),
+            riptide_enabled=self.riptide_enabled,
+            learned_routes=sum(
+                len(agent.learned_table()) for agent in self.cluster.all_agents()
+            ),
+            events_processed=self.cluster.sim.events_processed,
+        )
+
+
+@dataclass
+class ProbeArmSummary:
+    """The measurements of one arm, detached from its simulator.
+
+    This is what a parallel worker ships back to the parent process: the
+    probe results (behind the same ``fleet`` accessors the figure
+    harnesses use on a live run) plus the headline run counters.  The
+    live cluster — sockets, callbacks, the event heap — stays in the
+    worker and is discarded with it.
+    """
+
+    fleet: ProbeResultSet
+    riptide_enabled: bool
+    learned_routes: int
+    events_processed: int
+
+
+#: What the figure harnesses actually consume: a live arm (serial path)
+#: or a detached summary (parallel path) — both expose ``fleet``
+#: accessors and ``riptide_enabled``.
+ProbeStudyArm = Union[ProbeStudyRun, ProbeArmSummary]
+
 
 def run_probe_arm(config: ProbeStudyConfig, riptide_enabled: bool) -> ProbeStudyRun:
     """Build and run one arm of the paired study.
@@ -143,9 +178,30 @@ def run_probe_arm(config: ProbeStudyConfig, riptide_enabled: bool) -> ProbeStudy
 
 def run_paired_probe_study(
     config: ProbeStudyConfig | None = None,
-) -> tuple[ProbeStudyRun, ProbeStudyRun]:
-    """Run control and Riptide arms; returns ``(control, riptide)``."""
+    workers: int = 1,
+) -> tuple[ProbeStudyArm, ProbeStudyArm]:
+    """Run control and Riptide arms; returns ``(control, riptide)``.
+
+    The two arms share a config but are fully independent simulations,
+    so with ``workers`` > 1 they run concurrently in forked worker
+    processes and come back as detached :class:`ProbeArmSummary` objects
+    (byte-identical measurements, in the same (control, riptide) order).
+    The serial path keeps returning live :class:`ProbeStudyRun` objects
+    so callers can keep inspecting clusters and agents.
+    """
     config = config if config is not None else ProbeStudyConfig()
+    if workers > 1:
+        from repro.parallel import run_tasks
+
+        control, riptide = run_tasks(
+            [
+                lambda: run_probe_arm(config, riptide_enabled=False).summary(),
+                lambda: run_probe_arm(config, riptide_enabled=True).summary(),
+            ],
+            workers=min(workers, 2),
+            labels=["probe-study:control", "probe-study:riptide"],
+        )
+        return control, riptide
     control = run_probe_arm(config, riptide_enabled=False)
     riptide = run_probe_arm(config, riptide_enabled=True)
     return control, riptide

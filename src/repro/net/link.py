@@ -49,7 +49,7 @@ class LinkStats:
         return self.packets_dropped / self.packets_offered
 
 
-@dataclass
+@dataclass(slots=True)
 class _QueuedPacket:
     packet: Packet
     deliver: DeliverCallback = field(repr=False)
@@ -57,6 +57,15 @@ class _QueuedPacket:
 
 class Link:
     """One unidirectional link."""
+
+    # One Link object per path direction, three callbacks per packet:
+    # keep instances dict-free and the counter handles one load away.
+    __slots__ = (
+        "_sim", "bandwidth_bps", "propagation_delay", "queue_limit_packets",
+        "_loss", "_rng", "name", "stats", "_queue", "_transmitting",
+        "_obs_on", "_m_delivered", "_m_dropped_queue", "_m_dropped_loss",
+        "_g_queue_depth",
+    )
 
     def __init__(
         self,
@@ -87,6 +96,7 @@ class Link:
         # Aggregate (label-free) fabric counters; per-link detail stays in
         # ``self.stats``.  Handles are cached — these sit on the per-packet
         # hot path.
+        self._obs_on = sim.obs.enabled
         metrics = sim.obs.metrics
         self._m_delivered = metrics.counter("link_packets_delivered")
         self._m_dropped_queue = metrics.counter("link_packets_dropped_queue")
@@ -109,15 +119,20 @@ class Link:
         the tail; True when it was accepted (acceptance does not guarantee
         delivery — in-flight loss may still eat it).
         """
-        self.stats.packets_offered += 1
-        self.stats.bytes_offered += packet.size_bytes
-        if len(self._queue) >= self.queue_limit_packets:
-            self.stats.packets_dropped_queue += 1
+        stats = self.stats
+        queue = self._queue
+        stats.packets_offered += 1
+        stats.bytes_offered += packet.size_bytes
+        if len(queue) >= self.queue_limit_packets:
+            stats.packets_dropped_queue += 1
             self._m_dropped_queue.inc()
             return False
-        self._queue.append(_QueuedPacket(packet, deliver))
-        self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
-        self._g_queue_depth.set(len(self._queue))
+        queue.append(_QueuedPacket(packet, deliver))
+        depth = len(queue)
+        if depth > stats.max_queue_depth:
+            stats.max_queue_depth = depth
+        if self._obs_on:
+            self._g_queue_depth.set(depth)
         if not self._transmitting:
             self._start_next_transmission()
         return True
@@ -160,6 +175,8 @@ class DuplexLink:
     The loss model is cloned so each direction has independent channel
     state; each direction also gets its own RNG stream.
     """
+
+    __slots__ = ("name", "forward", "reverse")
 
     def __init__(
         self,

@@ -13,6 +13,7 @@ from typing import Any
 from repro.net.addresses import IPv4Address
 
 _packet_ids = itertools.count(1)
+_next_packet_id = _packet_ids.__next__
 
 
 class Packet:
@@ -29,7 +30,7 @@ class Packet:
     ) -> None:
         if size_bytes <= 0:
             raise ValueError(f"packet size must be positive, got {size_bytes}")
-        self.packet_id = next(_packet_ids)
+        self.packet_id = _next_packet_id()
         self.src = src
         self.dst = dst
         self.size_bytes = int(size_bytes)

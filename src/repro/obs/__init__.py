@@ -12,6 +12,7 @@ from repro.obs.instrument import (
     Instrumentation,
     active_instrumentation,
     capture,
+    disabled,
     instrumentation_for_new_simulator,
 )
 from repro.obs.metrics import (
@@ -38,6 +39,7 @@ __all__ = [
     "TraceLog",
     "active_instrumentation",
     "capture",
+    "disabled",
     "format_labels",
     "instrumentation_for_new_simulator",
 ]

@@ -11,6 +11,19 @@ the duration of a ``with`` block: simulators created inside the block
 aggregate into it, which is how ``python -m repro metrics <experiment>``
 collects one table across a whole sweep.  Capture contexts nest; outside
 any context each simulator gets a private instrumentation.
+
+Two additions serve the performance and parallelism work:
+
+* :func:`disabled` installs an instrumentation whose ``enabled`` flag is
+  False.  Hot paths (the kernel run loop, per-packet link counters, the
+  TCP trace points) check the flag once at construction and skip metric
+  work entirely — a true no-op fast path for benchmarking and for bulk
+  sweeps that only consume experiment results.
+* :meth:`Instrumentation.merge_from` folds another run's metrics and
+  trace into this one, in a way that is byte-identical to having run the
+  two workloads serially under one capture.  The parallel executor
+  (:mod:`repro.parallel`) uses it to merge worker output back into the
+  parent registry, in deterministic task order.
 """
 
 from __future__ import annotations
@@ -25,12 +38,31 @@ from repro.obs.trace import TraceLog
 class Instrumentation:
     """The metrics registry and trace log of one run."""
 
-    def __init__(self, trace_capacity: int = 10_000) -> None:
+    def __init__(self, trace_capacity: int = 10_000, enabled: bool = True) -> None:
         self.metrics = MetricsRegistry()
         self.trace = TraceLog(capacity=trace_capacity)
+        #: When False, components skip instrumentation on their hot paths.
+        #: The registry still works (handles can be created and read) so
+        #: nothing needs to special-case a disabled run.
+        self.enabled = enabled
+
+    def merge_from(self, other: "Instrumentation") -> None:
+        """Fold another run's metrics and trace events into this one.
+
+        Counters add, gauges adopt the other run's last write (tracking
+        the combined high-water mark), histograms merge their samples,
+        and trace events append in order — the same end state a serial
+        execution of both workloads under one capture would produce.
+        """
+        self.metrics.merge_from(other.metrics)
+        self.trace.merge_from(other.trace)
 
     def __repr__(self) -> str:
-        return f"<Instrumentation metrics={len(self.metrics)} trace={len(self.trace)}>"
+        state = "" if self.enabled else " disabled"
+        return (
+            f"<Instrumentation metrics={len(self.metrics)} "
+            f"trace={len(self.trace)}{state}>"
+        )
 
 
 _active: list[Instrumentation] = []
@@ -51,6 +83,23 @@ def instrumentation_for_new_simulator() -> Instrumentation:
 def capture(trace_capacity: int = 10_000) -> Iterator[Instrumentation]:
     """Aggregate all simulators created in the block into one instrumentation."""
     instrumentation = Instrumentation(trace_capacity=trace_capacity)
+    _active.append(instrumentation)
+    try:
+        yield instrumentation
+    finally:
+        _active.remove(instrumentation)
+
+
+@contextmanager
+def disabled() -> Iterator[Instrumentation]:
+    """Run the block with instrumentation off for new simulators.
+
+    Simulators created inside the block attach to a shared instrumentation
+    whose ``enabled`` flag is False; their hot paths do no metric or trace
+    work at all.  Used by ``python -m repro bench`` to measure the raw
+    kernel rate, and available to bulk sweeps that only need results.
+    """
+    instrumentation = Instrumentation(enabled=False)
     _active.append(instrumentation)
     try:
         yield instrumentation

@@ -187,6 +187,48 @@ class MetricsRegistry:
             instrument = self._histograms[key] = Histogram(name, key[1])
         return instrument
 
+    # -- merging ---------------------------------------------------------
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Semantics are chosen so that merging per-run registries in run
+        order reproduces exactly the registry a serial execution of those
+        runs under one shared instrumentation would have built: counters
+        add; gauges adopt the other registry's last-written value and the
+        combined high-water mark; histograms merge their sorted samples
+        and append timed samples in order.  (Histogram sums add as run
+        subtotals, so a merged ``mean`` can differ from a serial one in
+        the last float ulp; counts, values and percentiles are exact.)
+        """
+        for key, counter in other._counters.items():
+            mine = self._counters.get(key)
+            if mine is None:
+                self._counters[key] = Counter(counter.name, key[1], counter.value)
+            else:
+                mine.value += counter.value
+        for key, gauge in other._gauges.items():
+            mine = self._gauges.get(key)
+            if mine is None:
+                self._gauges[key] = Gauge(
+                    gauge.name, key[1], gauge.value, gauge.max_value, gauge._written
+                )
+            elif gauge._written:
+                mine.value = gauge.value
+                if not mine._written or gauge.max_value > mine.max_value:
+                    mine.max_value = gauge.max_value
+                mine._written = True
+        for key, histogram in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histograms[key] = Histogram(histogram.name, key[1])
+            merged = list(mine._sorted)
+            merged.extend(histogram._sorted)
+            merged.sort()
+            mine._sorted = merged
+            mine._sum += histogram._sum
+            mine._timed.extend(histogram._timed)
+
     # -- readout ---------------------------------------------------------
 
     def counters(self) -> list[Counter]:

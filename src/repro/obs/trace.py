@@ -77,6 +77,16 @@ class TraceLog:
         self._totals[type] += 1
         return event
 
+    def merge_from(self, other: "TraceLog") -> None:
+        """Append another log's retained events and add its totals.
+
+        Appending respects this ring's capacity (old events fall off),
+        which matches what recording the other log's stream directly into
+        this one would have retained.
+        """
+        self._events.extend(other._events)
+        self._totals.update(other._totals)
+
     def events(
         self,
         type: EventType | None = None,

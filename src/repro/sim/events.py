@@ -17,10 +17,12 @@ class Event:
 
     Instances are handles: holding one allows the owner to :meth:`cancel`
     the event before it fires.  Cancelled events stay in the heap (removal
-    from the middle of a heap is O(n)) and are skipped on pop.
+    from the middle of a heap is O(n)) and are skipped on pop.  ``fired``
+    marks an event that was already popped for execution, so a late
+    ``cancel()`` on a stale handle cannot corrupt the live-event count.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
 
     def __init__(
         self,
@@ -34,6 +36,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
@@ -70,10 +73,13 @@ class EventQueue:
 
         Raises :class:`IndexError` when no live events remain.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            event = pop(heap)
             if event.cancelled:
                 continue
+            event.fired = True
             self._live -= 1
             return event
         raise IndexError("pop from empty event queue")

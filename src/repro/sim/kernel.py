@@ -19,6 +19,11 @@ from repro.sim.events import Event, EventQueue
 class Simulator:
     """Discrete-event simulator with a float-seconds clock."""
 
+    #: The queue-depth gauge is sampled every N executed events (plus once
+    #: at loop exit) rather than per event — the gauge is diagnostic, and
+    #: per-event updates dominated the inner-loop instrumentation cost.
+    QUEUE_DEPTH_SAMPLE_STRIDE = 64
+
     def __init__(
         self,
         start_time: float = 0.0,
@@ -36,6 +41,9 @@ class Simulator:
             if instrumentation is not None
             else instrumentation_for_new_simulator()
         )
+        #: Cached so the run loop and cancel path can skip instrumentation
+        #: entirely (a true no-op) when it is disabled for this run.
+        self._obs_enabled = self.obs.enabled
         self._m_processed = self.obs.metrics.counter("sim_events_processed")
         self._m_cancelled = self.obs.metrics.counter("sim_events_cancelled")
         self._g_queue_depth = self.obs.metrics.gauge("sim_queue_depth")
@@ -87,10 +95,17 @@ class Simulator:
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event.  Idempotent."""
-        if not event.cancelled:
-            event.cancel()
-            self._queue.note_cancelled()
+        """Cancel a previously scheduled event.  Idempotent.
+
+        Cancelling an event that already fired (was popped and executed)
+        is a no-op: the handle is stale, and decrementing the live count
+        for it would make ``pending_events`` drift below the true count.
+        """
+        if event.cancelled or event.fired:
+            return
+        event.cancel()
+        self._queue.note_cancelled()
+        if self._obs_enabled:
             self._m_cancelled.inc()
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
@@ -105,22 +120,40 @@ class Simulator:
             raise SchedulingError("run() called re-entrantly from an event handler")
         self._running = True
         executed = 0
+        # Hot loop: queue methods and instrument handles are hoisted into
+        # locals, the processed counter is batched (one add per run() call
+        # instead of one per event) and the queue-depth gauge is sampled
+        # every QUEUE_DEPTH_SAMPLE_STRIDE events.  With instrumentation
+        # disabled the loop does no metric work at all.
+        queue = self._queue
+        peek_time = queue.peek_time
+        pop = queue.pop
+        obs_enabled = self._obs_enabled
+        gauge_set = self._g_queue_depth.set
+        stride = self.QUEUE_DEPTH_SAMPLE_STRIDE
+        until_gauge = stride
         try:
-            while self._queue:
+            while queue:
                 if max_events is not None and executed >= max_events:
                     break
-                next_time = self._queue.peek_time()
+                next_time = peek_time()
                 if until is not None and next_time > until:
                     break
-                event = self._queue.pop()
+                event = pop()
                 self._now = event.time
                 event.callback(*event.args)
-                self._events_processed += 1
-                self._m_processed.inc()
-                self._g_queue_depth.set(len(self._queue))
                 executed += 1
+                if obs_enabled:
+                    until_gauge -= 1
+                    if not until_gauge:
+                        gauge_set(len(queue))
+                        until_gauge = stride
         finally:
             self._running = False
+            self._events_processed += executed
+            if obs_enabled:
+                self._m_processed.inc(executed)
+                gauge_set(len(queue))
         if until is not None and self._now < until:
             self._now = until
         return self._now

@@ -83,7 +83,7 @@ class SocketStats:
     is_client: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _SentSegment:
     """Book-keeping for one segment awaiting acknowledgement."""
 
@@ -103,6 +103,29 @@ class _SentSegment:
 
 class TcpSocket:
     """One endpoint of a TCP connection."""
+
+    # Sockets dominate the simulation heap in cluster runs; __slots__
+    # keeps them dict-free and makes the send/ack loops' attribute reads
+    # offset loads.
+    __slots__ = (
+        "_host", "_sim", "_config",
+        "local_port", "remote_address", "remote_port",
+        "state", "is_client", "close_on_peer_fin",
+        "cc", "_rtt",
+        "_snd_una", "_snd_nxt", "_snd_buf_end", "_pending_marks",
+        "_rtx_queue", "_peer_rwnd_bytes", "_dupacks", "_in_recovery",
+        "_recover_seq", "_recovery_inflation", "_fin_queued", "_fin_sent",
+        "_rto_event",
+        "_rcv_nxt", "_ooo", "_recv_marks", "_adv_wnd_bytes",
+        "_peer_fin_received", "_delack_event", "_segments_since_ack",
+        "on_established", "on_message", "on_closed", "on_error",
+        "created_at", "established_at", "last_activity_at", "last_send_at",
+        "bytes_acked", "bytes_received", "segments_sent", "segments_received",
+        "segments_retransmitted", "messages_sent", "messages_received",
+        "rtos_fired", "fast_retransmits", "_consecutive_rtos",
+        "_obs_on", "_trace", "_m_retransmitted", "_m_rtos",
+        "_m_fast_rexmit", "_m_opened", "_h_cwnd_at_close",
+    )
 
     def __init__(
         self,
@@ -184,6 +207,7 @@ class TcpSocket:
 
         # --- instrumentation (handles cached; see repro.obs) ---------------
         obs = host.sim.obs
+        self._obs_on = obs.enabled
         self._trace = obs.trace
         self._m_retransmitted = obs.metrics.counter("tcp_segments_retransmitted")
         self._m_rtos = obs.metrics.counter("tcp_rtos_fired")
@@ -377,14 +401,15 @@ class TcpSocket:
         self.state = TcpState.ESTABLISHED
         self.established_at = self._sim.now
         self._m_opened.inc()
-        self._trace.record(
-            self._sim.now,
-            EventType.CONN_OPENED,
-            self._host.name,
-            remote=str(self.remote_address),
-            initial_cwnd=self.cc.initial_cwnd,
-            is_client=self.is_client,
-        )
+        if self._obs_on:
+            self._trace.record(
+                self._sim.now,
+                EventType.CONN_OPENED,
+                self._host.name,
+                remote=str(self.remote_address),
+                initial_cwnd=self.cc.initial_cwnd,
+                is_client=self.is_client,
+            )
         if self.on_established is not None:
             self.on_established(self)
 
@@ -409,11 +434,13 @@ class TcpSocket:
     def _on_new_ack(self, ack: int) -> None:
         acked_bytes = 0
         rtt_sample: float | None = None
-        while self._rtx_queue and self._rtx_queue[0].end_seq <= ack:
-            entry = self._rtx_queue.popleft()
+        rtx_queue = self._rtx_queue
+        now = self._sim.now
+        while rtx_queue and rtx_queue[0].end_seq <= ack:
+            entry = rtx_queue.popleft()
             acked_bytes += entry.payload_bytes
             if not entry.retransmitted:
-                rtt_sample = self._sim.now - entry.last_sent_at
+                rtt_sample = now - entry.last_sent_at
         self._snd_una = ack
         self._consecutive_rtos = 0
         if rtt_sample is not None:
@@ -451,13 +478,14 @@ class TcpSocket:
         self._recovery_inflation = DUPACK_THRESHOLD
         self.fast_retransmits += 1
         self._m_fast_rexmit.inc()
-        self._trace.record(
-            self._sim.now,
-            EventType.FAST_RETRANSMIT,
-            self._host.name,
-            remote=str(self.remote_address),
-            cwnd=self.cc.cwnd_segments,
-        )
+        if self._obs_on:
+            self._trace.record(
+                self._sim.now,
+                EventType.FAST_RETRANSMIT,
+                self._host.name,
+                remote=str(self.remote_address),
+                cwnd=self.cc.cwnd_segments,
+            )
         if self._config.sack:
             self._retransmit_sack_holes()
         else:
@@ -691,15 +719,18 @@ class TcpSocket:
         self._maybe_restart_after_idle()
         mss = self._config.mss
         sent_any = False
+        # The window and pipe estimate only change on ACK/loss events,
+        # never on our own transmissions, so compute them once and track
+        # in-flight growth locally instead of re-deriving per segment.
+        window = self._effective_window_bytes()
+        in_flight = self._bytes_in_flight()
         while self._snd_nxt < self._snd_buf_end:
-            window = self._effective_window_bytes()
-            in_flight = self._bytes_in_flight()
-            available = window - in_flight
             remaining = self._snd_buf_end - self._snd_nxt
             size = min(mss, remaining)
-            if available < size:
+            if window - in_flight < size:
                 break
             self._send_data_segment(size)
+            in_flight += size
             sent_any = True
         if (
             self._fin_queued
@@ -891,13 +922,14 @@ class TcpSocket:
         self.rtos_fired += 1
         self._consecutive_rtos += 1
         self._m_rtos.inc()
-        self._trace.record(
-            self._sim.now,
-            EventType.RTO_FIRED,
-            self._host.name,
-            remote=str(self.remote_address),
-            consecutive=self._consecutive_rtos,
-        )
+        if self._obs_on:
+            self._trace.record(
+                self._sim.now,
+                EventType.RTO_FIRED,
+                self._host.name,
+                remote=str(self.remote_address),
+                consecutive=self._consecutive_rtos,
+            )
         self._rtt.back_off()
         in_handshake = self.state in (TcpState.SYN_SENT, TcpState.SYN_RCVD)
         retry_limit = self.MAX_SYN_RETRIES if in_handshake else self.MAX_DATA_RETRIES

@@ -37,6 +37,19 @@ class TestSweepSeeds:
         assert "mean=" in report
         assert "seed 1" in report
 
+    def test_workers_one_is_the_serial_path(self):
+        result = sweep_seeds("double", [1, 2, 3], lambda s: s * 2.0, workers=1)
+        assert result.values == (2.0, 4.0, 6.0)
+
+    def test_parallel_sweep_matches_serial(self):
+        from repro.parallel import fork_available
+
+        if not fork_available():
+            pytest.skip("platform has no fork start method")
+        serial = sweep_seeds("double", [1, 2, 3, 4], lambda s: s * 2.0)
+        parallel = sweep_seeds("double", [1, 2, 3, 4], lambda s: s * 2.0, workers=2)
+        assert parallel == serial
+
 
 class TestStabilityOfHeadlineResult:
     """The quickstart gain holds across seeds, not just the default one."""

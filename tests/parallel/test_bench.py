@@ -1,0 +1,75 @@
+"""Tests for the perf-baseline harness and its CLI verb."""
+
+import json
+
+from repro.bench import (
+    BENCH_NAME,
+    bench_kernel,
+    format_bench,
+    run_bench,
+    write_bench,
+)
+
+
+class TestBenchSections:
+    def test_kernel_section_reports_both_modes(self):
+        section = bench_kernel(events=5_000)
+        assert section["events"] == 5_000
+        assert section["instrumented_events_per_sec"] > 0
+        assert section["disabled_events_per_sec"] > 0
+
+
+class TestBenchPayload:
+    def test_smoke_payload_has_the_tracked_readings(self, tmp_path):
+        payload = run_bench(workers=2, seeds=2, smoke=True)
+        assert payload["benchmark"] == BENCH_NAME
+        assert payload["smoke"] is True
+        assert payload["host"]["cpu_count"] >= 1
+        assert payload["kernel"]["instrumented_events_per_sec"] > 0
+        assert payload["tcp_transfer"]["events_per_sec"] > 0
+        assert payload["probe_study"]["wall_time_s"] > 0
+        assert payload["probe_study"]["probes_completed"] > 0
+        sweep = payload["multiseed_sweep"]
+        assert sweep["serial_wall_s"] > 0 and sweep["parallel_wall_s"] > 0
+        assert sweep["speedup"] > 0
+        # The portable acceptance signal: parallel == serial, bit for bit.
+        assert sweep["bit_identical"] is True
+
+        target = tmp_path / "BENCH_002.json"
+        assert write_bench(payload, str(target)) == str(target)
+        assert json.loads(target.read_text())["benchmark"] == BENCH_NAME
+
+        summary = format_bench(payload)
+        assert BENCH_NAME in summary
+        assert "ev/s" in summary
+
+
+class TestBenchCli:
+    def test_bench_verb_writes_json(self, capsys, monkeypatch, tmp_path):
+        from repro import bench as bench_mod
+        from repro.cli import main
+
+        fake = {
+            "benchmark": BENCH_NAME,
+            "smoke": True,
+            "host": {"cpu_count": 1},
+            "kernel": {
+                "instrumented_events_per_sec": 1.0,
+                "disabled_events_per_sec": 2.0,
+            },
+            "tcp_transfer": {"events_per_sec": 3.0},
+            "probe_study": {"wall_time_s": 0.5},
+            "multiseed_sweep": {
+                "serial_wall_s": 1.0,
+                "parallel_wall_s": 0.5,
+                "workers": 2,
+                "speedup": 2.0,
+                "bit_identical": True,
+            },
+        }
+        monkeypatch.setattr(bench_mod, "run_bench", lambda **kwargs: fake)
+        target = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--out", str(target)]) == 0
+        assert json.loads(target.read_text())["benchmark"] == BENCH_NAME
+        out = capsys.readouterr().out
+        assert "bit-identical=True" in out

@@ -1,0 +1,136 @@
+"""Parallel execution must be indistinguishable from serial execution.
+
+These tests run real simulations both ways and require byte-identical
+measurements — not approximate agreement.  This is the property that
+makes ``--workers N`` safe to use on any experiment.
+"""
+
+import pytest
+
+from repro.experiments.multiseed import sweep_seeds
+from repro.experiments.scenarios import (
+    ProbeArmSummary,
+    ProbeStudyConfig,
+    ProbeStudyRun,
+    run_paired_probe_study,
+)
+from repro.obs import capture
+from repro.parallel import fork_available
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+
+#: Small but real: 3 PoPs spanning near/far RTTs, seconds of traffic.
+TINY_STUDY = ProbeStudyConfig(
+    topology_codes=("LHR", "JFK", "NRT"),
+    source_pops=("LHR",),
+    warmup=2.0,
+    duration=8.0,
+    probe_interval=4.0,
+    organic_rate=1.0,
+)
+
+
+def _transfer_time(seed: int) -> float:
+    from repro.testing import TwoHostTestbed, request_response
+
+    bed = TwoHostTestbed(rtt=0.080, seed=seed)
+    bed.serve_echo()
+    return request_response(bed, response_bytes=80_000).total_time
+
+
+class TestSweepSeeds:
+    @needs_fork
+    def test_parallel_sweep_bit_identical_to_serial(self):
+        seeds = [1, 2, 3, 4, 5]
+        serial = sweep_seeds("transfer_time", seeds, _transfer_time, workers=1)
+        parallel = sweep_seeds("transfer_time", seeds, _transfer_time, workers=4)
+        assert parallel.values == serial.values  # bit-for-bit, same order
+        assert parallel.seeds == serial.seeds
+
+    @needs_fork
+    def test_failing_seed_surfaces_with_its_label(self):
+        from repro.parallel import WorkerFailure
+
+        def metric(seed: int) -> float:
+            if seed == 3:
+                raise ValueError("seed 3 exploded")
+            return float(seed)
+
+        with pytest.raises(WorkerFailure, match=r"m\[seed=3\]") as info:
+            sweep_seeds("m", [1, 2, 3, 4], metric, workers=2)
+        assert info.value.original_type == "ValueError"
+        assert "seed 3 exploded" in str(info.value)
+
+
+class TestPairedProbeStudy:
+    @needs_fork
+    def test_parallel_arms_match_serial_measurements(self):
+        serial_control, serial_riptide = run_paired_probe_study(TINY_STUDY)
+        assert isinstance(serial_control, ProbeStudyRun)
+        control, riptide = run_paired_probe_study(TINY_STUDY, workers=2)
+        assert isinstance(control, ProbeArmSummary)
+        assert not control.riptide_enabled and riptide.riptide_enabled
+        for parallel_arm, serial_arm in (
+            (control, serial_control),
+            (riptide, serial_riptide),
+        ):
+            assert (
+                parallel_arm.fleet.completion_times()
+                == serial_arm.fleet.completion_times()
+            )
+            assert parallel_arm.fleet.rounds_issued == serial_arm.fleet.rounds_issued
+            assert len(parallel_arm.fleet) == len(serial_arm.fleet.results)
+            assert (
+                parallel_arm.events_processed
+                == serial_arm.cluster.sim.events_processed
+            )
+            assert parallel_arm.learned_routes == sum(
+                len(agent.learned_table())
+                for agent in serial_arm.cluster.all_agents()
+            )
+
+    @needs_fork
+    def test_parallel_merged_metrics_match_serial(self):
+        with capture() as serial_obs:
+            run_paired_probe_study(TINY_STUDY)
+        with capture() as parallel_obs:
+            run_paired_probe_study(TINY_STUDY, workers=2)
+
+        serial_counters = {
+            (c.name, c.labels): c.value for c in serial_obs.metrics.counters()
+        }
+        parallel_counters = {
+            (c.name, c.labels): c.value for c in parallel_obs.metrics.counters()
+        }
+        assert parallel_counters == serial_counters
+
+        serial_hists = {
+            (h.name, h.labels): h.values() for h in serial_obs.metrics.histograms()
+        }
+        parallel_hists = {
+            (h.name, h.labels): h.values() for h in parallel_obs.metrics.histograms()
+        }
+        assert parallel_hists == serial_hists
+
+        assert parallel_obs.trace.totals() == serial_obs.trace.totals()
+
+
+class TestFig10Sweep:
+    @needs_fork
+    def test_parallel_cmax_sweep_bit_identical(self):
+        from repro.experiments import fig10_cmax_sweep
+
+        kwargs = dict(
+            c_max_values=(50, 100),
+            topology_codes=("LHR", "JFK", "NRT"),
+            duration=8.0,
+            warmup=2.0,
+            organic_rate=1.0,
+        )
+        serial = fig10_cmax_sweep.run(**kwargs)
+        parallel = fig10_cmax_sweep.run(workers=3, **kwargs)
+        assert set(parallel.cdfs) == set(serial.cdfs)
+        for key in serial.cdfs:
+            assert parallel.cdfs[key].values == serial.cdfs[key].values

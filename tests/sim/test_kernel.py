@@ -118,3 +118,34 @@ class TestCancellation:
         sim.cancel(handle)
         sim.run_until_idle()
         assert sim.events_processed == 1
+
+    def test_cancel_after_fire_is_a_noop(self, sim):
+        """A stale handle must not corrupt the live-event count."""
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run(until=1.5)
+        assert fired == ["a"]
+        sim.cancel(handle)  # already fired: must not touch the queue
+        assert sim.pending_events == 1
+        sim.run_until_idle()
+        assert fired == ["a", "b"]
+
+    def test_cancel_after_fire_not_counted_as_cancellation(self, sim):
+        from repro.obs import capture
+
+        with capture() as instrumentation:
+            inner = Simulator()
+            handle = inner.schedule(1.0, lambda: None)
+            inner.run_until_idle()
+            inner.cancel(handle)
+        assert instrumentation.metrics.counter_value("sim_events_cancelled") == 0
+
+    def test_cancel_many_fired_handles_keeps_pending_exact(self, sim):
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=6.0)
+        for handle in handles:
+            sim.cancel(handle)
+            sim.cancel(handle)
+        assert sim.pending_events == 1

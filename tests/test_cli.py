@@ -52,6 +52,43 @@ class TestRun:
             main([])
 
 
+class TestRunWorkers:
+    def test_workers_forwarded_to_supporting_experiment(self, capsys, monkeypatch):
+        seen = {}
+
+        class _Result:
+            def report(self):
+                return "workers-report"
+
+        def run(workers=1):
+            seen["workers"] = workers
+            return _Result()
+
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "tiny_w",
+            Experiment("tiny_w", "workers-aware", run, True, supports_workers=True),
+        )
+        assert main(["run", "tiny_w", "--workers", "3"]) == 0
+        assert seen["workers"] == 3
+        assert "workers-report" in capsys.readouterr().out
+
+    def test_workers_noted_and_ignored_without_support(self, capsys, monkeypatch):
+        class _Result:
+            def report(self):
+                return "serial-report"
+
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "tiny_s",
+            Experiment("tiny_s", "serial-only", lambda: _Result(), False),
+        )
+        assert main(["run", "tiny_s", "--workers", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "running serially" in captured.err
+        assert "serial-report" in captured.out
+
+
 def _tiny_simulation():
     """A test-only simulation-backed experiment: one small transfer."""
     from repro.testing import TwoHostTestbed, request_response
