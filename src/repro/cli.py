@@ -6,6 +6,8 @@
     python -m repro run fig03            # regenerate one figure/table
     python -m repro run fig10 --fast     # reduced-scale simulation run
     python -m repro run fig10 --workers 4  # fan the sweep across processes
+    python -m repro run --faults chaos_partition  # paired chaos study
+    python -m repro faults               # list chaos scenarios + timelines
     python -m repro describe fig12_14    # what an experiment reproduces
     python -m repro metrics fig10        # run + print the metric table
     python -m repro bench                # perf baseline -> BENCH_002.json
@@ -44,6 +46,9 @@ _FAST_OVERRIDES: dict[str, dict] = {
 #: Fast mode for the paired-study experiments shrinks the shared config.
 _FAST_STUDY_IDS = ("fig12_14", "fig15_16", "edge_cases")
 
+#: The chaos studies (also reachable via ``run --faults <scenario>``).
+_CHAOS_IDS = ("chaos_lossy_agent", "chaos_partition", "chaos_flaky_tools")
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -56,7 +61,19 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list all registered experiments")
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment_id", help="e.g. fig03, table2, fig12_14")
+    run_parser.add_argument(
+        "experiment_id",
+        nargs="?",
+        default=None,
+        help="e.g. fig03, table2, fig12_14 (omit when using --faults)",
+    )
+    run_parser.add_argument(
+        "--faults",
+        metavar="SCENARIO",
+        default=None,
+        help="run the paired chaos study for a fault scenario "
+        "(see `repro faults` for the list)",
+    )
     run_parser.add_argument(
         "--fast",
         action="store_true",
@@ -99,6 +116,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="one short round of each section (CI smoke)",
+    )
+
+    faults_parser = subparsers.add_parser(
+        "faults",
+        help="list the chaos fault scenarios and their timelines",
+    )
+    faults_parser.add_argument(
+        "--duration",
+        type=float,
+        default=90.0,
+        metavar="SECONDS",
+        help="probing duration the printed timelines are scaled to "
+        "(default: 90)",
     )
 
     describe_parser = subparsers.add_parser(
@@ -177,6 +207,10 @@ def _fast_kwargs(experiment_id: str) -> dict:
                 duration=30.0,
             )
         }
+    if experiment_id in _CHAOS_IDS:
+        from repro.experiments.chaos import ChaosStudyConfig
+
+        return {"config": ChaosStudyConfig(warmup=8.0, duration=30.0)}
     return dict(_FAST_OVERRIDES.get(experiment_id, {}))
 
 
@@ -199,6 +233,48 @@ def _cmd_run(experiment_id: str, fast: bool, workers: int = 1) -> int:
     elapsed = time.perf_counter() - started
     print(result.report())
     print(f"\n[{experiment_id} completed in {elapsed:.1f}s]")
+    return 0
+
+
+def _cmd_run_faults(scenario_name: str, fast: bool, workers: int) -> int:
+    """Run the paired chaos study for one fault scenario."""
+    from dataclasses import replace
+
+    from repro.experiments.chaos import ChaosStudyConfig, run_chaos_study
+    from repro.faults import get_scenario
+
+    scenario = get_scenario(scenario_name)
+    config = ChaosStudyConfig(scenario=scenario.name)
+    if fast:
+        config = replace(config, warmup=8.0, duration=30.0)
+    print(
+        f"running chaos scenario {scenario.name} "
+        "(paired control/Riptide simulation; this takes a while)..."
+    )
+    started = time.perf_counter()
+    result = run_chaos_study(config, workers=workers)
+    elapsed = time.perf_counter() - started
+    print(result.report())
+    print(f"\n[{scenario.name} completed in {elapsed:.1f}s]")
+    return 0
+
+
+def _cmd_faults(duration: float) -> int:
+    """List the chaos scenarios with their fault timelines."""
+    from repro.faults import CHAOS_SCENARIOS
+
+    for scenario in CHAOS_SCENARIOS.values():
+        print(scenario.name)
+        print(
+            f"  pops: {', '.join(scenario.pop_codes)}  "
+            f"(probes from {scenario.source_pop}, "
+            f"headline target {scenario.target_pop})"
+        )
+        print(f"  {scenario.description}")
+        print(f"  timeline over {duration:g}s of probing:")
+        print(scenario.describe(duration))
+        print()
+    print("run one with: python -m repro run --faults <scenario>")
     return 0
 
 
@@ -265,10 +341,27 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_describe(args.experiment_id)
     if args.command == "run":
         try:
+            if args.faults is not None:
+                if args.experiment_id is not None:
+                    print(
+                        "error: give either an experiment id or --faults, "
+                        "not both",
+                        file=sys.stderr,
+                    )
+                    return 2
+                return _cmd_run_faults(args.faults, args.fast, args.workers)
+            if args.experiment_id is None:
+                print(
+                    "error: run needs an experiment id (or --faults SCENARIO)",
+                    file=sys.stderr,
+                )
+                return 2
             return _cmd_run(args.experiment_id, args.fast, args.workers)
         except KeyError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    if args.command == "faults":
+        return _cmd_faults(args.duration)
     if args.command == "bench":
         return _cmd_bench(args.out, args.workers, args.seeds, args.smoke)
     if args.command == "metrics":

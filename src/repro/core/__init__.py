@@ -27,6 +27,7 @@ from repro.core.combiners import (
 )
 from repro.core.config import RiptideConfig
 from repro.core.granularity import DestinationGrouper
+from repro.core.guard import GuardStats, PathHealth, SafetyGuard
 from repro.core.history import (
     EwmaHistory,
     HistoryPolicy,
@@ -46,8 +47,10 @@ __all__ = [
     "Combiner",
     "DestinationGrouper",
     "EwmaHistory",
+    "GuardStats",
     "HistoryPolicy",
     "KernelModeAgent",
+    "PathHealth",
     "LearnedEntry",
     "LearnedTable",
     "MaxCombiner",
@@ -55,6 +58,7 @@ __all__ = [
     "Observation",
     "RiptideAgent",
     "RiptideConfig",
+    "SafetyGuard",
     "TrafficWeightedCombiner",
     "TrendDetector",
     "WindowedHistory",

@@ -20,16 +20,19 @@ their route, restoring the kernel default of 10.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, MutableSequence
 
 from repro.core.advisory import Advisory, AdvisoryController
 from repro.core.combiners import Observation, make_combiner
 from repro.core.config import RiptideConfig
 from repro.core.granularity import DestinationGrouper
+from repro.core.guard import PathHealth, SafetyGuard
 from repro.core.history import make_history_policy
 from repro.core.observed import LearnedTable
 from repro.core.trend import TrendDetector
+from repro.linux.errors import ToolError
 from repro.linux.host import Host
 from repro.net.addresses import Prefix
 from repro.obs.trace import EventType
@@ -48,7 +51,17 @@ class AgentStats:
     routes_installed: int = 0
     routes_withdrawn: int = 0
     routes_expired: int = 0
-    window_history: list[tuple[float, int]] = field(default_factory=list)
+    #: Resilience counters: ``ss`` polls that failed outright, ``ip``
+    #: commands that errored, scheduled retries of those commands,
+    #: safety-guard withdrawals and process crashes.
+    poll_failures: int = 0
+    tool_errors: int = 0
+    tool_retries: int = 0
+    guard_trips: int = 0
+    crashes: int = 0
+    #: ``(time, window)`` per install when recording is enabled.  A
+    #: bounded deque when the agent was given ``window_history_limit``.
+    window_history: MutableSequence[tuple[float, int]] = field(default_factory=list)
 
 
 class RiptideAgent:
@@ -59,6 +72,7 @@ class RiptideAgent:
         host: Host,
         config: RiptideConfig | None = None,
         record_window_history: bool = False,
+        window_history_limit: int | None = None,
     ) -> None:
         self.host = host
         self.config = config if config is not None else RiptideConfig()
@@ -78,11 +92,25 @@ class RiptideAgent:
                 penalty=self.config.trend_penalty,
                 hold=self.config.trend_hold,
             )
+        self._guard: SafetyGuard | None = None
+        if self.config.safety_guard:
+            self._guard = SafetyGuard(
+                loss_threshold=self.config.guard_loss_threshold,
+                rtt_factor=self.config.guard_rtt_factor,
+                min_segments=self.config.guard_min_segments,
+                hold=self.config.guard_hold,
+            )
         self._process = PeriodicProcess(
             host.sim, self.config.update_interval, self._tick, name="riptide"
         )
         self._record_window_history = record_window_history
         self.stats = AgentStats()
+        if window_history_limit is not None:
+            if window_history_limit < 1:
+                raise ValueError(
+                    f"window_history_limit must be >= 1, got {window_history_limit}"
+                )
+            self.stats.window_history = deque(maxlen=window_history_limit)
         self.started_at: float | None = None
         #: Optional consistency auditor, run at the start of every tick.
         self.auditor: "Auditor | None" = None
@@ -98,6 +126,11 @@ class RiptideAgent:
         self._m_expired = metrics.counter("riptide_routes_expired")
         self._m_clamp_min = metrics.counter("riptide_clamp_hits", bound="c_min")
         self._m_clamp_max = metrics.counter("riptide_clamp_hits", bound="c_max")
+        self._m_poll_failures = metrics.counter("riptide_poll_failures")
+        self._m_tool_errors = metrics.counter("riptide_tool_errors")
+        self._m_tool_retries = metrics.counter("riptide_tool_retries")
+        self._m_guard_trips = metrics.counter("riptide_guard_trips")
+        self._m_crashes = metrics.counter("riptide_crashes")
         self._g_learned = metrics.gauge("riptide_learned_entries", host=host.name)
         self._h_poll_cost = metrics.histogram("riptide_poll_cost")
 
@@ -129,23 +162,68 @@ class RiptideAgent:
         if remove_routes:
             now = self.host.sim.now
             for entry in self._learned.entries():
-                self._withdraw(entry.destination)
-                self.stats.routes_withdrawn += 1
-                self._m_withdrawn.inc()
-                self._trace.record(
-                    now,
-                    EventType.ROUTE_WITHDRAWN,
-                    self.host.name,
-                    destination=str(entry.destination),
-                    window=entry.window,
-                    reason="stop",
-                )
+                if self._withdraw(entry.destination):
+                    self.stats.routes_withdrawn += 1
+                    self._m_withdrawn.inc()
+                    self._trace.record(
+                        now,
+                        EventType.ROUTE_WITHDRAWN,
+                        self.host.name,
+                        destination=str(entry.destination),
+                        window=entry.window,
+                        reason="stop",
+                    )
                 if self._trend is not None:
                     self._trend.forget(entry.destination)
             for destination in list(self._history.tracked_keys()):
                 self._history.forget(destination)
             self._learned.clear()
+            if self._guard is not None:
+                self._guard.reset()
             self._g_learned.set(0)
+
+    def crash(self) -> None:
+        """Kill the agent process abruptly — no cleanup, no goodbyes.
+
+        Everything the *process* held in memory is gone: the learned
+        table, history, trend state, advisories and guard holds.  The
+        routes it installed SURVIVE — they live in the kernel FIB, not
+        the process — so until a restarted agent relearns the paths, new
+        connections keep using windows nobody is maintaining.  The
+        restarted agent self-heals: :meth:`_install` reinstalls whenever
+        the actual route diverges from what it computes, and the TTL
+        sweep eventually collects destinations that never reappear.
+        """
+        was_running = self.running
+        self._process.stop()
+        now = self.host.sim.now
+        self.stats.crashes += 1
+        self._m_crashes.inc()
+        self._trace.record(
+            now,
+            EventType.AGENT_CRASHED,
+            self.host.name,
+            learned=len(self._learned),
+            was_running=was_running,
+        )
+        self._learned.clear()
+        for destination in list(self._history.tracked_keys()):
+            self._history.forget(destination)
+        if self._trend is not None:
+            self._trend = TrendDetector(
+                drop_threshold=self.config.trend_drop_threshold,
+                penalty=self.config.trend_penalty,
+                hold=self.config.trend_hold,
+            )
+        self._advisories = AdvisoryController()
+        self._last_advisory_scale = 1.0
+        if self._guard is not None:
+            self._guard.reset()
+        self._g_learned.set(0)
+
+    def set_poll_jitter(self, jitter: Callable[[], float] | None) -> None:
+        """Fault injection: add per-tick drift to the poll loop."""
+        self._process.set_jitter(jitter)
 
     # ------------------------------------------------------------------
     # introspection
@@ -176,6 +254,10 @@ class RiptideAgent:
     @property
     def trend_detector(self) -> TrendDetector | None:
         return self._trend
+
+    @property
+    def safety_guard(self) -> SafetyGuard | None:
+        return self._guard
 
     # ------------------------------------------------------------------
     # operational advisories (Section V)
@@ -232,10 +314,27 @@ class RiptideAgent:
                 now, EventType.ADVISORY_END, self.host.name, reason="expired"
             )
         self._last_advisory_scale = advisory_scale
+        if self._guard is not None:
+            for destination in self._guard.release_expired(now):
+                self._trace.record(
+                    now,
+                    EventType.GUARD_RELEASED,
+                    self.host.name,
+                    destination=str(destination),
+                )
         routes_touched_before = self.stats.routes_installed
-        grouped = self._observe_and_group()
+        grouped, health = self._observe_and_group()
         observed = sum(len(observations) for observations in grouped.values())
         for destination, observations in grouped.items():
+            if self._guard is not None:
+                reason = self._guard.observe(destination, health[destination], now)
+                if reason is not None:
+                    self._guard_trip(destination, reason, now)
+                    continue
+                if self._guard.holding(destination, now):
+                    # Tripped earlier this hold: the destination stays at
+                    # the kernel default; no learning until release.
+                    continue
             candidate = self._combiner.combine(observations)
             final = self._history.update(destination, candidate)
             if self._trend is not None:
@@ -260,21 +359,52 @@ class RiptideAgent:
             observed + (self.stats.routes_installed - routes_touched_before), t=now
         )
 
-    def _observe_and_group(self) -> dict[Prefix, list[Observation]]:
-        """Poll ``ss`` and group current windows by destination key."""
-        snapshots = self.host.ss.tcp_info(
-            established_only=True,
-            outgoing_only=self.config.outgoing_only,
-        )
+    def _observe_and_group(
+        self,
+    ) -> tuple[dict[Prefix, list[Observation]], dict[Prefix, PathHealth]]:
+        """Poll ``ss``; group windows and path health by destination key.
+
+        Resilience: a failed poll (``ss`` erroring outright) yields an
+        empty observation set and the agent carries on — learned entries
+        are simply not refreshed this tick, and the TTL sweep remains
+        the backstop if the tool never recovers.  Partial output needs
+        no special handling: whatever sockets *did* make it into the
+        snapshot are used, the rest age toward their TTL.
+        """
+        try:
+            snapshots = self.host.ss.tcp_info(
+                established_only=True,
+                outgoing_only=self.config.outgoing_only,
+            )
+        except ToolError as error:
+            self.stats.poll_failures += 1
+            self._m_poll_failures.inc()
+            self._trace.record(
+                self.host.sim.now,
+                EventType.TOOL_ERROR,
+                self.host.name,
+                tool="ss",
+                error=str(error),
+            )
+            return {}, {}
         grouped: dict[Prefix, list[Observation]] = {}
+        health: dict[Prefix, PathHealth] = {}
+        track_health = self._guard is not None
         for info in snapshots:
             key = self._grouper.key_for(info.remote_address)
             grouped.setdefault(key, []).append(
                 Observation(cwnd=info.cwnd, bytes_acked=info.bytes_acked)
             )
+            if track_health:
+                entry = health.get(key)
+                if entry is None:
+                    entry = health[key] = PathHealth()
+                entry.add(
+                    info.segments_sent, info.segments_retransmitted, info.srtt
+                )
             self.stats.connections_observed += 1
             self._m_observed.inc()
-        return grouped
+        return grouped, health
 
     def _install(self, destination: Prefix, window: int, now: float) -> None:
         previous = self._learned.get(destination)
@@ -289,19 +419,158 @@ class RiptideAgent:
             or previous.window != window
             or self.installed_window(destination) != window
         ):
-            self._apply_window(destination, window)
-            self.stats.routes_installed += 1
-            self._m_installed.inc()
-            self._trace.record(
-                now,
-                EventType.ROUTE_INSTALLED,
-                self.host.name,
-                destination=str(destination),
-                window=window,
-                previous=previous.window if previous is not None else None,
-            )
+            if self._attempt_apply(destination, window):
+                self.stats.routes_installed += 1
+                self._m_installed.inc()
+                self._trace.record(
+                    now,
+                    EventType.ROUTE_INSTALLED,
+                    self.host.name,
+                    destination=str(destination),
+                    window=window,
+                    previous=previous.window if previous is not None else None,
+                )
         if self._record_window_history:
             self.stats.window_history.append((now, window))
+
+    # ------------------------------------------------------------------
+    # resilience: bounded retry-with-backoff on tool errors
+    # ------------------------------------------------------------------
+
+    def _attempt_apply(self, destination: Prefix, window: int) -> bool:
+        """Apply a window; on tool failure, start the retry ladder."""
+        try:
+            self._apply_window(destination, window)
+            return True
+        except ToolError as error:
+            self._note_tool_error("replace", destination, error)
+            if self.config.tool_retry_limit > 0:
+                self.host.sim.schedule(
+                    self.config.tool_retry_backoff,
+                    self._retry_install,
+                    destination,
+                    window,
+                    1,
+                )
+            return False
+
+    def _retry_install(self, destination: Prefix, window: int, attempt: int) -> None:
+        """One rung of the install retry ladder (backoff doubles)."""
+        entry = self._learned.get(destination)
+        if entry is None or entry.window != window or not self.running:
+            return  # superseded, expired, or the agent is gone
+        if self.installed_window(destination) == window:
+            return  # a later tick already healed it
+        now = self.host.sim.now
+        self.stats.tool_retries += 1
+        self._m_tool_retries.inc()
+        try:
+            self._apply_window(destination, window)
+        except ToolError as error:
+            self._note_tool_error("replace", destination, error)
+            if attempt < self.config.tool_retry_limit:
+                self.host.sim.schedule(
+                    self.config.tool_retry_backoff * (2.0 ** attempt),
+                    self._retry_install,
+                    destination,
+                    window,
+                    attempt + 1,
+                )
+            return
+        self.stats.routes_installed += 1
+        self._m_installed.inc()
+        self._trace.record(
+            now,
+            EventType.ROUTE_INSTALLED,
+            self.host.name,
+            destination=str(destination),
+            window=window,
+            retry=attempt,
+        )
+
+    def _retry_withdraw(self, destination: Prefix, attempt: int) -> None:
+        """One rung of the withdraw retry ladder."""
+        if self._learned.get(destination) is not None:
+            return  # re-learned meanwhile; the install path owns it again
+        now = self.host.sim.now
+        self.stats.tool_retries += 1
+        self._m_tool_retries.inc()
+        try:
+            self.host.ip.route_del(destination)
+        except KeyError:
+            return  # nothing left to withdraw
+        except ToolError as error:
+            self._note_tool_error("del", destination, error)
+            if attempt < self.config.tool_retry_limit:
+                self.host.sim.schedule(
+                    self.config.tool_retry_backoff * (2.0 ** attempt),
+                    self._retry_withdraw,
+                    destination,
+                    attempt + 1,
+                )
+            return
+        self.stats.routes_withdrawn += 1
+        self._m_withdrawn.inc()
+        self._trace.record(
+            now,
+            EventType.ROUTE_WITHDRAWN,
+            self.host.name,
+            destination=str(destination),
+            reason="retry",
+        )
+
+    def _note_tool_error(
+        self, verb: str, destination: Prefix, error: ToolError
+    ) -> None:
+        self.stats.tool_errors += 1
+        self._m_tool_errors.inc()
+        self._trace.record(
+            self.host.sim.now,
+            EventType.TOOL_ERROR,
+            self.host.name,
+            tool="ip",
+            verb=verb,
+            destination=str(destination),
+            error=str(error),
+        )
+
+    # ------------------------------------------------------------------
+    # resilience: the safety guard
+    # ------------------------------------------------------------------
+
+    def _guard_trip(self, destination: Prefix, reason: str, now: float) -> None:
+        """Revert a hostile destination to the kernel default (IW10)."""
+        assert self._guard is not None
+        self.stats.guard_trips += 1
+        self._m_guard_trips.inc()
+        entry = self._learned.remove(destination)
+        self._history.forget(destination)
+        if self._trend is not None:
+            self._trend.forget(destination)
+        self._trace.record(
+            now,
+            EventType.GUARD_TRIPPED,
+            self.host.name,
+            destination=str(destination),
+            reason=reason,
+            window=entry.window if entry is not None else None,
+            hold=self._guard.hold,
+        )
+        # Withdraw whatever is actually installed — the learned entry
+        # when there is one, but also a stale post-crash route the agent
+        # no longer remembers learning.
+        if entry is not None or self.installed_window(destination) is not None:
+            if self._withdraw(destination):
+                self.stats.routes_withdrawn += 1
+                self._m_withdrawn.inc()
+                self._trace.record(
+                    now,
+                    EventType.ROUTE_WITHDRAWN,
+                    self.host.name,
+                    destination=str(destination),
+                    window=entry.window if entry is not None else None,
+                    reason="guard",
+                )
 
     def _apply_window(self, destination: Prefix, window: int) -> None:
         """Make ``window`` effective for new connections to ``destination``.
@@ -319,6 +588,8 @@ class RiptideAgent:
             self._history.forget(entry.destination)
             if self._trend is not None:
                 self._trend.forget(entry.destination)
+            if self._guard is not None:
+                self._guard.forget(entry.destination)
             self.stats.routes_expired += 1
             self._m_expired.inc()
             self._trace.record(
@@ -329,14 +600,29 @@ class RiptideAgent:
                 window=entry.window,
             )
 
-    def _withdraw(self, destination: Prefix) -> None:
-        """Remove the effect of :meth:`_apply_window` (TTL expiry)."""
+    def _withdraw(self, destination: Prefix) -> bool:
+        """Remove the effect of :meth:`_apply_window` (TTL expiry).
+
+        Returns True when the route is gone (deleted, or already absent);
+        False when the tool failed and a retry ladder was started.
+        """
         try:
             self.host.ip.route_del(destination)
         except KeyError:
             # The route was removed out from under us (e.g. an operator
             # cleaned the table); nothing left to withdraw.
             pass
+        except ToolError as error:
+            self._note_tool_error("del", destination, error)
+            if self.config.tool_retry_limit > 0:
+                self.host.sim.schedule(
+                    self.config.tool_retry_backoff,
+                    self._retry_withdraw,
+                    destination,
+                    1,
+                )
+            return False
+        return True
 
     def __repr__(self) -> str:
         state = "running" if self.running else "stopped"

@@ -59,6 +59,23 @@ class RiptideConfig:
     trend_penalty: float = 0.5
     #: Seconds the penalty stays in force after a trigger.
     trend_hold: float = 10.0
+    #: Resilience: bounded retries when a tool command (``ip route``)
+    #: fails.  0 disables retries; the next poll tick still self-heals.
+    tool_retry_limit: int = 3
+    #: Base backoff before the first retry; doubles per attempt.
+    tool_retry_backoff: float = 0.5
+    #: Resilience: the safety guard withdraws the learned route of any
+    #: destination whose observed loss or RTT spikes, restoring the
+    #: kernel default IW10 until the path looks healthy again.
+    safety_guard: bool = False
+    #: Retransmit fraction (per poll window) that trips the guard.
+    guard_loss_threshold: float = 0.15
+    #: Multiple of the destination's smoothed-RTT baseline that trips it.
+    guard_rtt_factor: float = 3.0
+    #: Minimum segments sent in the poll window before loss is judged.
+    guard_min_segments: int = 20
+    #: Seconds a tripped destination stays at the kernel default.
+    guard_hold: float = 30.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha < 1.0:
@@ -110,6 +127,32 @@ class RiptideConfig:
         if self.trend_hold <= 0:
             raise ValueError(
                 f"trend_hold must be positive, got {self.trend_hold}"
+            )
+        if self.tool_retry_limit < 0:
+            raise ValueError(
+                f"tool_retry_limit must be >= 0, got {self.tool_retry_limit}"
+            )
+        if self.tool_retry_backoff <= 0:
+            raise ValueError(
+                f"tool_retry_backoff must be positive, got "
+                f"{self.tool_retry_backoff}"
+            )
+        if not 0.0 < self.guard_loss_threshold < 1.0:
+            raise ValueError(
+                f"guard_loss_threshold must be in (0, 1), got "
+                f"{self.guard_loss_threshold}"
+            )
+        if self.guard_rtt_factor <= 1.0:
+            raise ValueError(
+                f"guard_rtt_factor must be > 1, got {self.guard_rtt_factor}"
+            )
+        if self.guard_min_segments < 1:
+            raise ValueError(
+                f"guard_min_segments must be >= 1, got {self.guard_min_segments}"
+            )
+        if self.guard_hold <= 0:
+            raise ValueError(
+                f"guard_hold must be positive, got {self.guard_hold}"
             )
 
     def clamp(self, window: float) -> int:

@@ -33,8 +33,14 @@ class KernelModeAgent(RiptideAgent):
         host: Host,
         config: RiptideConfig | None = None,
         record_window_history: bool = False,
+        window_history_limit: int | None = None,
     ) -> None:
-        super().__init__(host, config, record_window_history)
+        super().__init__(
+            host,
+            config,
+            record_window_history,
+            window_history_limit=window_history_limit,
+        )
         self._windows: dict[Prefix, int] = {}
         # Bind once: Python creates a fresh bound-method object on every
         # attribute access, so identity checks need a stable reference.
@@ -71,8 +77,9 @@ class KernelModeAgent(RiptideAgent):
     def _apply_window(self, destination: Prefix, window: int) -> None:
         self._windows[destination] = window
 
-    def _withdraw(self, destination: Prefix) -> None:
+    def _withdraw(self, destination: Prefix) -> bool:
         self._windows.pop(destination, None)
+        return True
 
     def installed_window(self, destination: Prefix) -> int | None:
         """Kernel mode installs into the hook map, not the route table."""

@@ -62,6 +62,10 @@ class LearnedTable:
         """Drop every entry (agent stop with route removal)."""
         self._entries.clear()
 
+    def remove(self, destination: Prefix) -> LearnedEntry | None:
+        """Drop one entry (safety-guard withdrawal); None when absent."""
+        return self._entries.pop(destination, None)
+
     def pop_expired(self, now: float) -> list[LearnedEntry]:
         """Remove and return every entry whose TTL has lapsed."""
         expired = [e for e in self._entries.values() if e.expired(now)]

@@ -1,0 +1,312 @@
+"""Chaos experiments: the paired probe study under injected faults.
+
+The paper's evaluation runs on a production CDN that misbehaves daily;
+the reproduction's counterpart injects that misbehaviour on purpose.
+Each chaos experiment runs the control (IW10) and Riptide arms of a
+probe study under the *same* deterministic fault schedule (same seed,
+same faults, same packet drops) and asks the deployment-safety
+question: does Riptide, with its resilience policies (bounded tool
+retries, poll-failure tolerance, the safety guard reverting hostile
+paths to IW10), still beat or at least match the control — or does a
+learned window amplify the damage?
+
+The verdict compares the median completion time of *new-connection*
+probes (the population Riptide changes) with a small tolerance; the
+report also surfaces the resilience counters so an operator can see the
+faults being absorbed rather than silently ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from statistics import median
+from typing import Union
+
+from repro.cdn.cluster import CdnCluster, ClusterConfig
+from repro.cdn.probes import ProbeFleet, ProbeResultSet
+from repro.core.config import RiptideConfig
+from repro.experiments.scenarios import sub_topology
+from repro.faults.engine import FaultInjector
+from repro.faults.scenarios import ChaosScenario, get_scenario
+from repro.tcp.constants import TcpConfig
+
+#: Fractional slack on the median verdict: "matches" means within this.
+VERDICT_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class ChaosStudyConfig:
+    """Knobs for a paired chaos study."""
+
+    scenario: str = "chaos_lossy_agent"
+    seed: int = 42
+    #: Simulated seconds of organic traffic before probing and faults.
+    warmup: float = 20.0
+    #: Simulated seconds of probing; the fault schedule is scaled to it.
+    duration: float = 90.0
+    probe_interval: float = 6.0
+    organic_rate: float = 3.0
+    close_probability: float = 0.35
+    probe_churn: float = 0.4
+    #: The chaos arms enable the safety guard — it is the resilience
+    #: policy under test — on top of the evaluation's prefix granularity.
+    riptide: RiptideConfig = field(
+        default_factory=lambda: RiptideConfig(
+            granularity="prefix", prefix_length=16, safety_guard=True
+        )
+    )
+    cluster: ClusterConfig = field(
+        default_factory=lambda: ClusterConfig(
+            tcp=TcpConfig(default_initrwnd=300, slow_start_after_idle=False)
+        )
+    )
+
+
+@dataclass
+class ChaosArmRun:
+    """One live arm of a chaos study."""
+
+    cluster: CdnCluster
+    fleet: ProbeFleet
+    injector: FaultInjector
+    riptide_enabled: bool
+
+    def summary(self) -> "ChaosArmSummary":
+        """Detach the picklable measurements from the live cluster."""
+        agents = self.cluster.all_agents()
+        return ChaosArmSummary(
+            fleet=self.fleet.result_set(),
+            riptide_enabled=self.riptide_enabled,
+            faults_injected=self.injector.injected,
+            faults_cleared=self.injector.cleared,
+            guard_trips=sum(agent.stats.guard_trips for agent in agents),
+            crashes=sum(agent.stats.crashes for agent in agents),
+            poll_failures=sum(agent.stats.poll_failures for agent in agents),
+            tool_errors=sum(agent.stats.tool_errors for agent in agents),
+            tool_retries=sum(agent.stats.tool_retries for agent in agents),
+            learned_routes=sum(
+                len(agent.learned_table()) for agent in agents
+            ),
+            events_processed=self.cluster.sim.events_processed,
+        )
+
+
+@dataclass
+class ChaosArmSummary:
+    """One arm's measurements, detached from its simulator."""
+
+    fleet: ProbeResultSet
+    riptide_enabled: bool
+    faults_injected: int
+    faults_cleared: int
+    guard_trips: int
+    crashes: int
+    poll_failures: int
+    tool_errors: int
+    tool_retries: int
+    learned_routes: int
+    events_processed: int
+
+
+ChaosArm = Union[ChaosArmRun, ChaosArmSummary]
+
+
+def _arm_counters(arm: ChaosArm) -> "ChaosArmSummary":
+    """Both arm flavours viewed as a summary (live arms are detached)."""
+    return arm if isinstance(arm, ChaosArmSummary) else arm.summary()
+
+
+def run_chaos_arm(
+    config: ChaosStudyConfig, riptide_enabled: bool
+) -> ChaosArmRun:
+    """Build and run one arm under the scenario's fault schedule.
+
+    Both arms share seed, topology, workloads, probe schedule *and
+    faults*; only whether Riptide runs differs.
+    """
+    scenario = get_scenario(config.scenario)
+    topology = sub_topology(scenario.pop_codes)
+    cluster_config = replace(
+        config.cluster, seed=config.seed, riptide=config.riptide
+    )
+    cluster = CdnCluster(topology, cluster_config)
+    from repro.cdn.workload import OrganicWorkloadConfig
+
+    workload_config = OrganicWorkloadConfig(
+        rate_per_second=config.organic_rate,
+        close_probability=config.close_probability,
+    )
+    codes = cluster.pop_codes
+    for code in codes:
+        cluster.add_organic_workload(
+            code, [c for c in codes if c != code], workload_config
+        )
+    if riptide_enabled:
+        cluster.start_riptide()
+    cluster.run(config.warmup)
+    fleet = cluster.make_probe_fleet(
+        [scenario.source_pop],
+        interval=config.probe_interval,
+        host_indices=[1],
+        churn_probability=config.probe_churn,
+    )
+    fleet.start(initial_delay=0.0)
+    injector = FaultInjector(cluster, scenario.build(config.duration))
+    injector.arm()
+    cluster.run(config.duration)
+    return ChaosArmRun(
+        cluster=cluster,
+        fleet=fleet,
+        injector=injector,
+        riptide_enabled=riptide_enabled,
+    )
+
+
+@dataclass
+class ChaosStudyResult:
+    """Both arms of one chaos study plus the verdict machinery."""
+
+    scenario: ChaosScenario
+    duration: float
+    control: ChaosArm
+    riptide: ChaosArm
+
+    def _times(self, arm: ChaosArm, new_only: bool) -> list[float]:
+        return arm.fleet.completion_times(new_connections_only=new_only)
+
+    def median_gain(self, new_only: bool = True) -> float | None:
+        """Fractional median improvement (positive = Riptide faster)."""
+        control = self._times(self.control, new_only)
+        riptide = self._times(self.riptide, new_only)
+        if not control or not riptide:
+            return None
+        control_median = median(control)
+        if control_median == 0:
+            return None
+        return 1.0 - median(riptide) / control_median
+
+    @property
+    def riptide_holds_up(self) -> bool:
+        """True when Riptide beats or matches the control under faults.
+
+        Judged on the median completion time of new-connection probes
+        (the population Riptide changes) within a small tolerance; a run
+        where faults killed every probe on both arms counts as holding
+        up (nothing to lose).
+        """
+        gain = self.median_gain(new_only=True)
+        if gain is None:
+            return True
+        return gain >= -VERDICT_TOLERANCE
+
+    def report(self) -> str:
+        from repro.analysis.tables import format_table
+
+        control = _arm_counters(self.control)
+        riptide = _arm_counters(self.riptide)
+        rows = []
+        for label, new_only in (("all probes", False), ("new connections", True)):
+            control_times = self._times(self.control, new_only)
+            riptide_times = self._times(self.riptide, new_only)
+            if not control_times or not riptide_times:
+                rows.append((label, len(control_times), len(riptide_times),
+                             "-", "-", "-"))
+                continue
+            control_median = median(control_times)
+            riptide_median = median(riptide_times)
+            gain = (
+                1.0 - riptide_median / control_median
+                if control_median > 0
+                else 0.0
+            )
+            rows.append(
+                (
+                    label,
+                    len(control_times),
+                    len(riptide_times),
+                    f"{control_median * 1000:.0f}ms",
+                    f"{riptide_median * 1000:.0f}ms",
+                    f"{gain:+.0%}",
+                )
+            )
+        table = format_table(
+            ("population", "ctrl n", "riptide n", "ctrl median",
+             "riptide median", "gain"),
+            rows,
+            title=f"Chaos study: {self.scenario.name}",
+        )
+        timeline = self.scenario.build(self.duration).describe()
+        counters = (
+            f"faults injected/cleared: {riptide.faults_injected}/"
+            f"{riptide.faults_cleared}  guard trips: {riptide.guard_trips}  "
+            f"crashes: {riptide.crashes}\n"
+            f"poll failures: {riptide.poll_failures}  tool errors: "
+            f"{riptide.tool_errors}  tool retries: {riptide.tool_retries}  "
+            f"learned routes: {riptide.learned_routes}"
+        )
+        verdict = (
+            "PASS: Riptide beats/matches the IW10 control under faults"
+            if self.riptide_holds_up
+            else "FAIL: Riptide is slower than the IW10 control under faults"
+        )
+        return (
+            f"{table}\n\nfault timeline ({self.duration:g}s of probing):\n"
+            f"{timeline}\n\nriptide-arm resilience counters:\n{counters}\n"
+            f"\nverdict: {verdict}"
+        )
+
+
+def run_chaos_study(
+    config: ChaosStudyConfig | None = None, workers: int = 1
+) -> ChaosStudyResult:
+    """Run control and Riptide arms under the same fault schedule.
+
+    With ``workers`` > 1 the two independent arms run in forked worker
+    processes (:mod:`repro.parallel`) and come back as detached
+    summaries — byte-identical measurements to the serial path.
+    """
+    config = config if config is not None else ChaosStudyConfig()
+    scenario = get_scenario(config.scenario)
+    if workers > 1:
+        from repro.parallel import run_tasks
+
+        control, riptide = run_tasks(
+            [
+                lambda: run_chaos_arm(config, riptide_enabled=False).summary(),
+                lambda: run_chaos_arm(config, riptide_enabled=True).summary(),
+            ],
+            workers=min(workers, 2),
+            labels=[
+                f"{scenario.name}:control",
+                f"{scenario.name}:riptide",
+            ],
+        )
+    else:
+        # Detach summaries on the serial path too: the result carries the
+        # same types either way, and the live clusters can be collected.
+        control = run_chaos_arm(config, riptide_enabled=False).summary()
+        riptide = run_chaos_arm(config, riptide_enabled=True).summary()
+    return ChaosStudyResult(
+        scenario=scenario,
+        duration=config.duration,
+        control=control,
+        riptide=riptide,
+    )
+
+
+def _scenario_runner(name: str):
+    """A registry ``run`` callable pinned to one scenario."""
+
+    def run(
+        config: ChaosStudyConfig | None = None, workers: int = 1
+    ) -> ChaosStudyResult:
+        config = config if config is not None else ChaosStudyConfig()
+        return run_chaos_study(replace(config, scenario=name), workers=workers)
+
+    run.__doc__ = f"Run the {name} chaos scenario (control vs Riptide)."
+    return run
+
+
+run_lossy_agent = _scenario_runner("chaos_lossy_agent")
+run_partition = _scenario_runner("chaos_partition")
+run_flaky_tools = _scenario_runner("chaos_flaky_tools")

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.experiments import (
+    chaos,
     edge_cases,
     ext_advisory,
     ext_diurnal,
@@ -120,6 +121,27 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Extension: conservatism advisories during a load shift",
             ext_advisory.run,
             simulation_backed=True,
+        ),
+        Experiment(
+            "chaos_lossy_agent",
+            "Chaos: loss storm + agent crash/ss blackout; guard reverts to IW10",
+            chaos.run_lossy_agent,
+            simulation_backed=True,
+            supports_workers=True,
+        ),
+        Experiment(
+            "chaos_partition",
+            "Chaos: PoP partition, trunk flap and degrade; recovery vs IW10",
+            chaos.run_partition,
+            simulation_backed=True,
+            supports_workers=True,
+        ),
+        Experiment(
+            "chaos_flaky_tools",
+            "Chaos: failing ip route, stale/partial ss, poll jitter",
+            chaos.run_flaky_tools,
+            simulation_backed=True,
+            supports_workers=True,
         ),
     )
 }

@@ -8,10 +8,11 @@ statistics tool (:mod:`repro.linux.ss_tool`), and the host object that owns
 sockets, listeners and the TCP configuration (:mod:`repro.linux.host`).
 """
 
+from repro.linux.errors import ToolError
 from repro.linux.host import Host
 from repro.linux.ip_tool import IpRouteTool
 from repro.linux.route import RouteEntry, RouteTable
-from repro.linux.ss_tool import SsTool
+from repro.linux.ss_tool import SS_FAULT_MODES, SsTool
 from repro.linux.sysctl import Sysctl
 
 __all__ = [
@@ -19,6 +20,8 @@ __all__ = [
     "IpRouteTool",
     "RouteEntry",
     "RouteTable",
+    "SS_FAULT_MODES",
     "SsTool",
     "Sysctl",
+    "ToolError",
 ]

@@ -1,0 +1,13 @@
+"""Errors raised by the simulated host tools (``ss``, ``ip``).
+
+On a real server the Riptide agent shells out to ``ss`` and ``ip``; both
+can fail — a busy box times the poll out, ``ip route`` returns a nonzero
+exit status, netlink rejects the message.  :class:`ToolError` is the
+in-simulation equivalent of that nonzero exit status: fault injection
+(:mod:`repro.faults`) arms it, and the agent's resilience policies
+(:mod:`repro.core.agent`) absorb it.
+"""
+
+
+class ToolError(RuntimeError):
+    """A host tool invocation failed (nonzero exit status)."""

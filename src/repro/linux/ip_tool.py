@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.linux.errors import ToolError
 from repro.linux.route import RouteEntry
 from repro.net.addresses import IPv4Address, Prefix
 
@@ -19,11 +20,43 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class IpRouteTool:
-    """``ip route`` verbs bound to one host."""
+    """``ip route`` verbs bound to one host.
+
+    Mutating verbs (``add``/``replace``/``del``) carry an injectable
+    failure mode (see :mod:`repro.faults`): while armed, every command
+    raises :class:`ToolError` — netlink said no — and the route table is
+    untouched.  Read verbs (``show``/``get``) keep working, as they do on
+    a real box when the FIB is fine but modifications are rejected.
+    """
 
     def __init__(self, host: "Host") -> None:
         self._host = host
         self.commands_issued = 0
+        self.commands_failed = 0
+        self._failing = False
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    @property
+    def failing(self) -> bool:
+        return self._failing
+
+    def set_fault(self) -> None:
+        """Arm the failure mode: mutating verbs raise until cleared."""
+        self._failing = True
+
+    def clear_fault(self) -> None:
+        self._failing = False
+
+    def _check_fault(self, verb: str, destination: object) -> None:
+        if self._failing:
+            self.commands_failed += 1
+            raise ToolError(
+                f"ip route {verb} {destination}: RTNETLINK answers: "
+                "Operation not permitted"
+            )
 
     def route_add(
         self,
@@ -32,6 +65,7 @@ class IpRouteTool:
         initrwnd: int | None = None,
     ) -> RouteEntry:
         """``ip route add <dst> ... initcwnd N`` — fails if present."""
+        self._check_fault("add", destination)
         entry = self._entry(destination, initcwnd, initrwnd)
         self._host.route_table.add(entry)
         self.commands_issued += 1
@@ -44,6 +78,7 @@ class IpRouteTool:
         initrwnd: int | None = None,
     ) -> RouteEntry:
         """``ip route replace`` — add-or-overwrite, Riptide's usual verb."""
+        self._check_fault("replace", destination)
         entry = self._entry(destination, initcwnd, initrwnd)
         self._host.route_table.replace(entry)
         self.commands_issued += 1
@@ -51,6 +86,7 @@ class IpRouteTool:
 
     def route_del(self, destination: "Prefix | IPv4Address | str") -> RouteEntry:
         """``ip route del <dst>`` — raises KeyError when absent."""
+        self._check_fault("del", destination)
         prefix = self._as_prefix(destination)
         entry = self._host.route_table.delete(prefix)
         self.commands_issued += 1
@@ -87,4 +123,8 @@ class IpRouteTool:
         return Prefix.parse(destination)
 
     def __repr__(self) -> str:
-        return f"<IpRouteTool host={self._host.address} issued={self.commands_issued}>"
+        fault = " failing" if self._failing else ""
+        return (
+            f"<IpRouteTool host={self._host.address} "
+            f"issued={self.commands_issued}{fault}>"
+        )

@@ -4,16 +4,30 @@ Riptide "polls the congestion window of all open connections via the ss
 utility".  :meth:`SsTool.tcp_info` returns snapshots of the host's live
 sockets; filters mirror the flags the agent would pass on a real server
 (established-only, outgoing-only, created-after).
+
+The tool carries an injectable fault surface (see :mod:`repro.faults`)
+modelling how ``ss`` actually misbehaves on a loaded box:
+
+* ``"error"`` — the invocation fails outright (:class:`ToolError`);
+* ``"empty"`` — the poll returns no sockets at all;
+* ``"stale"`` — the poll returns the *previous* successful snapshot
+  (a wedged collector re-serving cached data);
+* ``"partial"`` — only every other socket makes it into the output
+  (truncated output, the paper agent's skip-and-continue case).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.linux.errors import ToolError
 from repro.tcp.socket import SocketStats, TcpState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.linux.host import Host
+
+#: Fault modes an ``ss`` poll can be armed with.
+SS_FAULT_MODES = ("error", "empty", "stale", "partial")
 
 
 class SsTool:
@@ -22,6 +36,33 @@ class SsTool:
     def __init__(self, host: "Host") -> None:
         self._host = host
         self.polls = 0
+        self.faulted_polls = 0
+        self._fault_mode: str | None = None
+        self._last_good: list[SocketStats] = []
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    @property
+    def fault_mode(self) -> str | None:
+        return self._fault_mode
+
+    def set_fault(self, mode: str) -> None:
+        """Arm a failure mode for subsequent polls."""
+        if mode not in SS_FAULT_MODES:
+            raise ValueError(
+                f"unknown ss fault mode {mode!r}; expected one of "
+                f"{', '.join(SS_FAULT_MODES)}"
+            )
+        self._fault_mode = mode
+
+    def clear_fault(self) -> None:
+        self._fault_mode = None
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
 
     def tcp_info(
         self,
@@ -31,6 +72,15 @@ class SsTool:
     ) -> list[SocketStats]:
         """Snapshots of all live sockets matching the filters."""
         self.polls += 1
+        mode = self._fault_mode
+        if mode is not None:
+            self.faulted_polls += 1
+            if mode == "error":
+                raise ToolError(f"ss: poll failed on {self._host.address}")
+            if mode == "empty":
+                return []
+            if mode == "stale":
+                return list(self._last_good)
         snapshots = []
         for sock in self._host.sockets():
             if established_only and sock.state is not TcpState.ESTABLISHED:
@@ -40,6 +90,9 @@ class SsTool:
             if created_after is not None and sock.created_at < created_after:
                 continue
             snapshots.append(sock.stats_snapshot())
+        if mode == "partial":
+            return snapshots[::2]
+        self._last_good = snapshots
         return snapshots
 
     def format_lines(self, **filters) -> list[str]:
@@ -56,7 +109,8 @@ class SsTool:
         return lines
 
     def __repr__(self) -> str:
-        return f"<SsTool host={self._host.address} polls={self.polls}>"
+        fault = f" fault={self._fault_mode}" if self._fault_mode else ""
+        return f"<SsTool host={self._host.address} polls={self.polls}{fault}>"
 
 
-__all__ = ["SocketStats", "SsTool"]
+__all__ = ["SS_FAULT_MODES", "SocketStats", "SsTool"]

@@ -34,13 +34,18 @@ class LinkStats:
     packets_delivered: int = 0
     packets_dropped_queue: int = 0
     packets_dropped_loss: int = 0
+    packets_dropped_down: int = 0
     bytes_offered: int = 0
     bytes_delivered: int = 0
     max_queue_depth: int = 0
 
     @property
     def packets_dropped(self) -> int:
-        return self.packets_dropped_queue + self.packets_dropped_loss
+        return (
+            self.packets_dropped_queue
+            + self.packets_dropped_loss
+            + self.packets_dropped_down
+        )
 
     @property
     def drop_rate(self) -> float:
@@ -64,7 +69,8 @@ class Link:
         "_sim", "bandwidth_bps", "propagation_delay", "queue_limit_packets",
         "_loss", "_rng", "name", "stats", "_queue", "_transmitting",
         "_obs_on", "_m_delivered", "_m_dropped_queue", "_m_dropped_loss",
-        "_g_queue_depth",
+        "_g_queue_depth", "up", "bandwidth_scale", "extra_delay",
+        "_loss_override", "_m_dropped_down",
     )
 
     def __init__(
@@ -93,6 +99,14 @@ class Link:
         self.stats = LinkStats()
         self._queue: deque[_QueuedPacket] = deque()
         self._transmitting = False
+        #: Fault-injection state (see repro.faults): an administratively
+        #: "down" link drops every packet; degradation scales the usable
+        #: bandwidth and adds propagation delay; a loss override replaces
+        #: the configured loss model for the duration of a storm.
+        self.up = True
+        self.bandwidth_scale = 1.0
+        self.extra_delay = 0.0
+        self._loss_override: LossModel | None = None
         # Aggregate (label-free) fabric counters; per-link detail stays in
         # ``self.stats``.  Handles are cached — these sit on the per-packet
         # hot path.
@@ -101,6 +115,7 @@ class Link:
         self._m_delivered = metrics.counter("link_packets_delivered")
         self._m_dropped_queue = metrics.counter("link_packets_dropped_queue")
         self._m_dropped_loss = metrics.counter("link_packets_dropped_loss")
+        self._m_dropped_down = metrics.counter("link_packets_dropped_down")
         self._g_queue_depth = metrics.gauge("link_queue_depth")
 
     @property
@@ -110,7 +125,7 @@ class Link:
 
     def serialization_time(self, size_bytes: int) -> float:
         """Seconds to clock ``size_bytes`` onto the wire."""
-        return size_bytes * 8.0 / self.bandwidth_bps
+        return size_bytes * 8.0 / (self.bandwidth_bps * self.bandwidth_scale)
 
     def transmit(self, packet: Packet, deliver: DeliverCallback) -> bool:
         """Offer a packet to the link.
@@ -123,6 +138,10 @@ class Link:
         queue = self._queue
         stats.packets_offered += 1
         stats.bytes_offered += packet.size_bytes
+        if not self.up:
+            stats.packets_dropped_down += 1
+            self._m_dropped_down.inc()
+            return False
         if len(queue) >= self.queue_limit_packets:
             stats.packets_dropped_queue += 1
             self._m_dropped_queue.inc()
@@ -148,12 +167,18 @@ class Link:
 
     def _finish_transmission(self, item: _QueuedPacket) -> None:
         packet = item.packet
-        if self._loss.should_drop(self._rng):
+        if not self.up:
+            # The link failed while this packet was on the wire.
+            self.stats.packets_dropped_down += 1
+            self._m_dropped_down.inc()
+        elif (self._loss_override or self._loss).should_drop(self._rng):
             self.stats.packets_dropped_loss += 1
             self._m_dropped_loss.inc()
         else:
             packet.sent_at = self._sim.now
-            self._sim.schedule(self.propagation_delay, self._deliver, item)
+            self._sim.schedule(
+                self.propagation_delay + self.extra_delay, self._deliver, item
+            )
         self._start_next_transmission()
 
     def _deliver(self, item: _QueuedPacket) -> None:
@@ -161,6 +186,54 @@ class Link:
         self.stats.bytes_delivered += item.packet.size_bytes
         self._m_delivered.inc()
         item.deliver(item.packet)
+
+    # ------------------------------------------------------------------
+    # fault injection (see repro.faults)
+    # ------------------------------------------------------------------
+
+    def set_down(self) -> None:
+        """Fail the link: the queue is purged and every subsequent offer
+        (and any packet still on the wire) is dropped until :meth:`set_up`.
+
+        Packets already past serialization (in propagation flight) still
+        arrive — they left the link before the failure.
+        """
+        self.up = False
+        purged = len(self._queue)
+        if purged:
+            self.stats.packets_dropped_down += purged
+            self._m_dropped_down.inc(purged)
+            self._queue.clear()
+            if self._obs_on:
+                self._g_queue_depth.set(0)
+
+    def set_up(self) -> None:
+        """Restore a failed link."""
+        self.up = True
+
+    def degrade(self, bandwidth_scale: float = 1.0, extra_delay: float = 0.0) -> None:
+        """Degrade the link: scale usable bandwidth, add one-way delay.
+
+        Applies to packets serialized from now on; :meth:`restore` undoes
+        both knobs.
+        """
+        if not 0.0 < bandwidth_scale <= 1.0:
+            raise ValueError(
+                f"bandwidth_scale must be in (0, 1], got {bandwidth_scale}"
+            )
+        if extra_delay < 0:
+            raise ValueError(f"extra_delay must be >= 0, got {extra_delay}")
+        self.bandwidth_scale = float(bandwidth_scale)
+        self.extra_delay = float(extra_delay)
+
+    def restore(self) -> None:
+        """Undo :meth:`degrade`."""
+        self.bandwidth_scale = 1.0
+        self.extra_delay = 0.0
+
+    def set_loss_override(self, model: LossModel | None) -> None:
+        """Replace the configured loss model until cleared with ``None``."""
+        self._loss_override = model
 
     def __repr__(self) -> str:
         return (
@@ -214,6 +287,34 @@ class DuplexLink:
     def rtt(self) -> float:
         """Round-trip propagation delay (excluding serialization/queueing)."""
         return self.forward.propagation_delay + self.reverse.propagation_delay
+
+    @property
+    def up(self) -> bool:
+        """True when both directions are up."""
+        return self.forward.up and self.reverse.up
+
+    def set_down(self) -> None:
+        """Fail both directions (a trunk flap / partition)."""
+        self.forward.set_down()
+        self.reverse.set_down()
+
+    def set_up(self) -> None:
+        self.forward.set_up()
+        self.reverse.set_up()
+
+    def degrade(self, bandwidth_scale: float = 1.0, extra_delay: float = 0.0) -> None:
+        """Degrade both directions symmetrically."""
+        self.forward.degrade(bandwidth_scale, extra_delay)
+        self.reverse.degrade(bandwidth_scale, extra_delay)
+
+    def restore(self) -> None:
+        self.forward.restore()
+        self.reverse.restore()
+
+    def set_loss_override(self, model: LossModel | None) -> None:
+        """Install a replacement loss model (cloned per direction)."""
+        self.forward.set_loss_override(model.clone() if model is not None else None)
+        self.reverse.set_loss_override(model.clone() if model is not None else None)
 
     def __repr__(self) -> str:
         return f"<DuplexLink {self.name!r} rtt={self.rtt * 1e3:.1f}ms>"

@@ -123,6 +123,18 @@ class Network:
         """The duplex trunk between two zones, if one exists."""
         return self._duplexes.get(frozenset((zone_a, zone_b)))
 
+    def trunks_touching(self, zone: Prefix) -> list[DuplexLink]:
+        """All trunks with ``zone`` as one endpoint (partition surface).
+
+        Ordered by the trunk's name so fault injection walks them in a
+        deterministic order regardless of dict insertion history.
+        """
+        touching = [
+            duplex for key, duplex in self._duplexes.items() if zone in key
+        ]
+        touching.sort(key=lambda duplex: duplex.name)
+        return touching
+
     def attach(self, host: AttachedHost) -> None:
         """Attach a host; its address must be unique on the fabric."""
         if host.address in self._hosts:

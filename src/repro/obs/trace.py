@@ -31,6 +31,13 @@ class EventType(enum.Enum):
     FAST_RETRANSMIT = "fast_retransmit"
     CONN_OPENED = "conn_opened"
     AUDIT_DIVERGENCE = "audit_divergence"
+    FAULT_INJECTED = "fault_injected"
+    FAULT_CLEARED = "fault_cleared"
+    TOOL_ERROR = "tool_error"
+    AGENT_CRASHED = "agent_crashed"
+    AGENT_RESTARTED = "agent_restarted"
+    GUARD_TRIPPED = "guard_tripped"
+    GUARD_RELEASED = "guard_released"
 
 
 @dataclass(frozen=True)

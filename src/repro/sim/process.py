@@ -37,6 +37,7 @@ class PeriodicProcess:
         self._name = name
         self._pending: Event | None = None
         self._ticks = 0
+        self._jitter: Callable[[], float] | None = None
 
     @property
     def interval(self) -> float:
@@ -64,10 +65,23 @@ class PeriodicProcess:
             self._sim.cancel(self._pending)
             self._pending = None
 
+    def set_jitter(self, jitter: Callable[[], float] | None) -> None:
+        """Add ``jitter()`` seconds to every subsequent re-arm delay.
+
+        Models a loaded host whose "every N seconds" loop drifts (the
+        fault-injection poll-jitter schedule).  The callable is invoked
+        once per tick; negative returns are clamped so the loop never
+        schedules into the past.  Pass ``None`` to restore exact ticks.
+        """
+        self._jitter = jitter
+
     def _tick(self) -> None:
         # Re-arm before invoking the callback so that a callback calling
         # stop() cancels the *next* tick rather than racing with it.
-        self._pending = self._sim.schedule(self._interval, self._tick)
+        delay = self._interval
+        if self._jitter is not None:
+            delay = max(0.0, delay + self._jitter())
+        self._pending = self._sim.schedule(delay, self._tick)
         self._ticks += 1
         self._callback()
 

@@ -205,6 +205,45 @@ class TestAgentLifecycle:
         bed.sim.run(until=bed.sim.now + 2.0)
         assert len(agent.stats.window_history) > 0
 
+    def test_window_history_limit_bounds_growth(self):
+        bed = make_testbed()
+        agent = RiptideAgent(
+            bed.server,
+            RiptideConfig(update_interval=0.25),
+            record_window_history=True,
+            window_history_limit=5,
+        )
+        agent.start()
+        request_response(bed, response_bytes=1_000_000)
+        bed.sim.run(until=bed.sim.now + 10.0)
+        assert agent.stats.polls > 5  # enough ticks to overflow the cap
+        assert len(agent.stats.window_history) == 5
+        # The bounded history keeps the newest samples, oldest evicted.
+        times = [t for t, _ in agent.stats.window_history]
+        assert times == sorted(times)
+        assert times[0] > 0.25
+
+    def test_unbounded_history_keeps_everything(self):
+        bed = make_testbed()
+        agent = RiptideAgent(
+            bed.server,
+            RiptideConfig(update_interval=0.25),
+            record_window_history=True,
+        )
+        agent.start()
+        request_response(bed, response_bytes=1_000_000)
+        bed.sim.run(until=bed.sim.now + 10.0)
+        assert len(agent.stats.window_history) > 5
+
+    def test_invalid_window_history_limit_rejected(self):
+        bed = make_testbed()
+        with pytest.raises(ValueError, match="window_history_limit"):
+            RiptideAgent(
+                bed.server,
+                RiptideConfig(),
+                window_history_limit=0,
+            )
+
 
 class TestGranularityIntegration:
     def test_prefix_route_covers_whole_zone(self):

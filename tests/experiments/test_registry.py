@@ -11,6 +11,7 @@ class TestRegistry:
             "fig02", "fig03", "fig04", "fig05", "fig06", "table2",
             "fig10", "fig11", "fig12_14", "fig15_16", "edge_cases",
             "ext_diurnal", "ext_advisory",
+            "chaos_lossy_agent", "chaos_partition", "chaos_flaky_tools",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,71 @@
+"""End-to-end chaos scenarios: Riptide must hold up under faults."""
+
+from repro.experiments.chaos import (
+    ChaosStudyConfig,
+    run_chaos_study,
+)
+from repro.faults import CHAOS_SCENARIOS, get_scenario, scenario_names
+
+FAST = ChaosStudyConfig(warmup=8.0, duration=30.0)
+
+
+class TestScenarioRegistry:
+    def test_scenarios_are_registered(self):
+        names = scenario_names()
+        assert "chaos_lossy_agent" in names
+        assert "chaos_partition" in names
+        assert "chaos_flaky_tools" in names
+
+    def test_every_scenario_builds_a_valid_schedule(self):
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            schedule = scenario.build(90.0)
+            assert len(schedule) >= 1
+            assert schedule.end_time <= 90.0
+            assert scenario.source_pop in scenario.pop_codes
+            assert scenario.target_pop in scenario.pop_codes
+
+    def test_unknown_scenario_lists_alternatives(self):
+        try:
+            get_scenario("chaos_nope")
+        except KeyError as error:
+            assert "chaos_lossy_agent" in str(error)
+        else:
+            raise AssertionError("expected KeyError")
+
+    def test_describe_covers_the_timeline(self):
+        scenario = CHAOS_SCENARIOS["chaos_lossy_agent"]
+        text = scenario.describe(90.0)
+        assert "loss_storm" in text
+        assert "agent_crash" in text
+
+
+class TestChaosEndToEnd:
+    def test_lossy_agent_scenario_riptide_holds_up(self):
+        result = run_chaos_study(FAST)
+        # Both arms saw the same fault schedule.
+        assert result.control.faults_injected == result.riptide.faults_injected
+        assert result.riptide.faults_injected >= 1
+        # The resilience machinery demonstrably engaged: agents crashed,
+        # polls failed, and the guard reverted hostile paths to IW10.
+        assert result.riptide.crashes >= 1
+        assert result.riptide.poll_failures >= 1
+        assert result.riptide.guard_trips >= 1
+        # Control agents never ran, so none of that happened there.
+        assert result.control.crashes == 0
+        assert result.control.guard_trips == 0
+        # The deployment-safety verdict: Riptide still at least matches
+        # the IW10 control under the storm.
+        assert result.riptide_holds_up
+        report = result.report()
+        assert "chaos_lossy_agent" in report
+        assert "PASS" in report
+
+    def test_same_seed_is_bit_identical(self):
+        first = run_chaos_study(FAST)
+        second = run_chaos_study(FAST)
+        assert first.riptide.guard_trips == second.riptide.guard_trips
+        assert (
+            first.riptide.events_processed == second.riptide.events_processed
+        )
+        assert first.median_gain() == second.median_gain()

@@ -82,3 +82,57 @@ class TestGilbertElliottLoss:
             GilbertElliottLoss(bad, 0.5)
         with pytest.raises(ValueError):
             GilbertElliottLoss(0.5, 0.5, loss_bad=bad)
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.5])
+    def test_invalid_recovery_and_good_rate_rejected(self, bad):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(0.5, bad)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(0.5, 0.5, loss_good=bad)
+
+    def test_clone_preserves_all_parameters(self):
+        model = GilbertElliottLoss(0.02, 0.3, loss_good=0.001, loss_bad=0.7)
+        twin = model.clone()
+        assert twin.p_good_to_bad == 0.02
+        assert twin.p_bad_to_good == 0.3
+        assert twin.loss_good == 0.001
+        assert twin.loss_bad == 0.7
+
+
+class TestCloneStateIndependence:
+    """Each link direction must own independent channel state."""
+
+    def test_gilbert_elliott_clones_do_not_share_state(self):
+        model = GilbertElliottLoss(1.0, 0.0, loss_good=0.0, loss_bad=1.0)
+        twin = model.clone()
+        rng = random.Random(5)
+        model.should_drop(rng)  # drives only the original into bad state
+        assert model.in_bad_state
+        assert not twin.in_bad_state
+        # And the other way round: exercising the clone leaves the
+        # original's state untouched.
+        fresh = model.clone()
+        fresh.should_drop(rng)
+        assert fresh.in_bad_state
+        assert not model.clone().in_bad_state
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            NoLoss(),
+            BernoulliLoss(0.1),
+            GilbertElliottLoss(0.01, 0.2),
+        ],
+        ids=["no_loss", "bernoulli", "gilbert_elliott"],
+    )
+    def test_clone_is_always_a_distinct_instance(self, model):
+        assert model.clone() is not model
+
+    def test_bernoulli_clones_draw_independently(self):
+        # Two clones fed the same rng sequence behave identically —
+        # there is no hidden shared mutable state.
+        a = BernoulliLoss(0.3).clone()
+        b = BernoulliLoss(0.3).clone()
+        outcomes_a = [a.should_drop(random.Random(9)) for _ in range(1)]
+        outcomes_b = [b.should_drop(random.Random(9)) for _ in range(1)]
+        assert outcomes_a == outcomes_b

@@ -117,6 +117,30 @@ class TestPairedProbeStudy:
         assert parallel_obs.trace.totals() == serial_obs.trace.totals()
 
 
+class TestChaosStudy:
+    @needs_fork
+    def test_fault_injected_arms_bit_identical_to_serial(self):
+        from repro.experiments.chaos import ChaosStudyConfig, run_chaos_study
+
+        config = ChaosStudyConfig(warmup=5.0, duration=20.0)
+        serial = run_chaos_study(config)
+        parallel = run_chaos_study(config, workers=2)
+        for par, ser in (
+            (parallel.control, serial.control),
+            (parallel.riptide, serial.riptide),
+        ):
+            assert par.fleet.completion_times() == ser.fleet.completion_times()
+            assert par.events_processed == ser.events_processed
+            assert par.faults_injected == ser.faults_injected
+            assert par.faults_cleared == ser.faults_cleared
+            assert par.guard_trips == ser.guard_trips
+            assert par.crashes == ser.crashes
+            assert par.poll_failures == ser.poll_failures
+            assert par.tool_errors == ser.tool_errors
+            assert par.learned_routes == ser.learned_routes
+        assert parallel.median_gain() == serial.median_gain()
+
+
 class TestFig10Sweep:
     @needs_fork
     def test_parallel_cmax_sweep_bit_identical(self):

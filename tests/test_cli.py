@@ -144,3 +144,60 @@ class TestMetrics:
         assert _normalize_experiment_id("fig10_cmax_sweep") == "fig10"
         assert _normalize_experiment_id("fig10") == "fig10"
         assert _normalize_experiment_id("nope") == "nope"
+
+
+class TestFaultsVerb:
+    def test_lists_every_scenario_with_its_timeline(self, capsys):
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos_lossy_agent" in out
+        assert "chaos_partition" in out
+        assert "chaos_flaky_tools" in out
+        assert "loss_storm" in out  # timelines are rendered
+        assert "run --faults" in out  # usage hint
+
+    def test_duration_scales_the_timeline(self, capsys):
+        assert main(["faults", "--duration", "45"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline over 45s" in out
+
+
+class TestRunFaults:
+    def test_runs_the_scenario_and_prints_the_report(
+        self, capsys, monkeypatch
+    ):
+        import repro.experiments.chaos as chaos
+
+        calls = {}
+
+        class _Result:
+            def report(self):
+                return "chaos-report"
+
+        def fake_run(config, workers=1):
+            calls["config"] = config
+            calls["workers"] = workers
+            return _Result()
+
+        monkeypatch.setattr(chaos, "run_chaos_study", fake_run)
+        assert main(
+            ["run", "--faults", "chaos_partition", "--fast", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chaos-report" in out
+        assert calls["config"].scenario == "chaos_partition"
+        assert calls["config"].duration == 30.0  # the --fast preset
+        assert calls["workers"] == 2
+
+    def test_unknown_scenario_errors(self, capsys):
+        assert main(["run", "--faults", "chaos_nope"]) == 2
+        err = capsys.readouterr().err
+        assert "chaos_lossy_agent" in err  # alternatives are listed
+
+    def test_experiment_id_and_faults_are_exclusive(self, capsys):
+        assert main(["run", "fig03", "--faults", "chaos_partition"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_run_without_id_or_faults_errors(self, capsys):
+        assert main(["run"]) == 2
+        assert "--faults" in capsys.readouterr().err
