@@ -15,7 +15,10 @@ import json
 from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.cdf import EmpiricalCdf
+from repro.obs.flow import FlowLog
 from repro.obs.metrics import DEFAULT_PERCENTILES, MetricsRegistry, format_labels
+from repro.obs.span import SpanLog
+from repro.obs.timeline import Timeline
 from repro.obs.trace import TraceLog
 
 
@@ -100,6 +103,9 @@ def metrics_to_json(
 def trace_to_json(log: TraceLog) -> str:
     """A trace log's totals and retained events as a JSON document."""
     payload = {
+        "recorded": log.recorded,
+        "retained": len(log),
+        "dropped": log.dropped,
         "totals": {event_type.value: count for event_type, count in sorted(
             log.totals().items(), key=lambda item: item[0].value
         )},
@@ -114,3 +120,57 @@ def trace_to_json(log: TraceLog) -> str:
         ],
     }
     return json.dumps(payload, indent=2)
+
+
+def trace_to_csv(log: TraceLog) -> str:
+    """Retained trace events in long format: ``time, type, source, details``.
+
+    Details are flattened ``k=v`` pairs joined with spaces (one column),
+    keeping one row per event regardless of each event type's fields.
+    """
+    rows = []
+    for event in log.events():
+        details = " ".join(f"{k}={v}" for k, v in event.details)
+        rows.append((f"{event.time:.9g}", event.type.value, event.source, details))
+    return rows_to_csv(("time", "type", "source", "details"), rows)
+
+
+def flows_to_jsonl(flows: FlowLog) -> str:
+    """Flow records as JSON Lines (one compact object per connection)."""
+    return "\n".join(
+        json.dumps(record.to_dict(), separators=(",", ":"))
+        for record in flows.records()
+    ) + ("\n" if len(flows) else "")
+
+
+def flows_to_json(flows: FlowLog) -> str:
+    """Flow records plus log-level counts as one JSON document."""
+    payload = {
+        "recorded": flows.next_id,
+        "retained": len(flows),
+        "dropped": flows.dropped,
+        "flows": [record.to_dict() for record in flows.records()],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def spans_to_chrome_json(spans: SpanLog) -> str:
+    """Spans as a Chrome trace-event JSON document.
+
+    Loadable directly in Perfetto / ``chrome://tracing``: the object
+    format with a ``traceEvents`` array and a display unit.
+    """
+    payload = {
+        "traceEvents": spans.to_chrome_trace(),
+        "displayTimeUnit": "ms",
+    }
+    return json.dumps(payload, indent=2)
+
+
+def timeline_to_csv(timeline: Timeline) -> str:
+    """Timeline points in long format: ``time, source, series, value``."""
+    rows = [
+        (f"{point.time:.9g}", point.source, point.series, f"{point.value:.9g}")
+        for point in timeline.points()
+    ]
+    return rows_to_csv(("time", "source", "series", "value"), rows)

@@ -14,7 +14,9 @@ trajectory to regress against:
   workhorse scenario behind Figures 12-16;
 * **multiseed_sweep** — wall time of the same per-seed run serially and
   under a 4-worker pool, the speedup between them, and whether the two
-  sweeps produced byte-identical values (they must).
+  sweeps produced byte-identical values (they must);
+* **metrics** — histogram observe throughput and the cost of the first
+  ordered read (the lazy sort), guarding the metrics hot path.
 
 Readings are wall-clock dependent; the JSON records the host's CPU
 count and Python version so trajectories compare like with like.  On a
@@ -157,6 +159,33 @@ def bench_multiseed_sweep(workers: int = 4, seeds: int = 8) -> dict[str, Any]:
     }
 
 
+def bench_metrics(observations: int = 200_000) -> dict[str, Any]:
+    """Histogram hot path: observe throughput + first ordered read.
+
+    Values are a deterministic pseudo-random sequence (Knuth's
+    multiplicative hash), so the sort cost is representative of real
+    unordered samples rather than a presorted best case.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    histogram = registry.histogram("bench_hist")
+    values = [float((i * 2654435761) % 100_000) for i in range(observations)]
+    started = time.perf_counter()
+    for value in values:
+        histogram.observe(value)
+    observe_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    p99 = histogram.percentile(99.0)
+    first_read_wall = time.perf_counter() - started
+    return {
+        "observations": observations,
+        "observes_per_sec": round(observations / observe_wall, 1),
+        "first_ordered_read_ms": round(first_read_wall * 1000, 3),
+        "p99": p99,
+    }
+
+
 def run_bench(
     workers: int = 4,
     seeds: int = 8,
@@ -172,11 +201,13 @@ def run_bench(
         study_config = replace(_BENCH_STUDY, warmup=5.0, duration=10.0)
         study = bench_probe_study(study_config)
         sweep = bench_multiseed_sweep(workers=min(workers, 2), seeds=min(seeds, 2))
+        metrics = bench_metrics(observations=50_000)
     else:
         kernel = bench_kernel()
         transfer = bench_tcp_transfer()
         study = bench_probe_study()
         sweep = bench_multiseed_sweep(workers=workers, seeds=seeds)
+        metrics = bench_metrics()
     return {
         "benchmark": BENCH_NAME,
         "smoke": smoke,
@@ -190,6 +221,7 @@ def run_bench(
         "tcp_transfer": transfer,
         "probe_study": study,
         "multiseed_sweep": sweep,
+        "metrics": metrics,
     }
 
 
@@ -223,4 +255,10 @@ def format_bench(payload: dict[str, Any]) -> str:
             f"({sweep['speedup']:.2f}x, bit-identical={sweep['bit_identical']})"
         ),
     ]
+    metrics = payload.get("metrics")
+    if metrics is not None:
+        lines.append(
+            f"metrics:       {metrics['observes_per_sec']:>12,.0f} observe/s, "
+            f"first ordered read {metrics['first_ordered_read_ms']:.1f} ms"
+        )
     return "\n".join(lines)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.cdn.filesizes import FileSizeDistribution
-from repro.cdn.monitors import CwndSampler
+from repro.cdn.monitors import CwndSampler, TimelineSampler
 from repro.cdn.pop import PoP
 from repro.cdn.probes import ProbeFleet
 from repro.cdn.topology import Topology
@@ -34,6 +34,10 @@ class ClusterConfig:
     """Deployment-wide parameters."""
 
     seed: int = 42
+    #: Optional deployment tag ("control"/"riptide" in paired studies).
+    #: Prefixes host names (``label:CODE-i``) so flow records and spans
+    #: from two same-topology clusters under one capture stay separable.
+    label: str = ""
     #: Trunk bandwidth between PoPs ("well provisioned links").
     bandwidth_bps: float = 1e9
     queue_limit_packets: int = 2048
@@ -105,13 +109,15 @@ class CdnCluster:
 
     def _deploy_pop(self, pop: PoP) -> None:
         hosts, servers, clients, agents, auditors = [], [], [], [], []
+        label = self.config.label
         for index, address in enumerate(pop.server_addresses()):
+            name = f"{pop.code}-{index}"
             host = Host(
                 self.sim,
                 self.network,
                 address,
                 config=self.config.tcp,
-                name=f"{pop.code}-{index}",
+                name=f"{label}:{name}" if label else name,
             )
             hosts.append(host)
             servers.append(TransferServer(host))
@@ -249,6 +255,7 @@ class CdnCluster:
             close_before_round=close_before_round,
             churn_probability=churn_probability,
             rng=self.streams.stream("probe-churn"),
+            arm=self.config.label,
             **kwargs,
         )
         for code in source_pops:
@@ -274,6 +281,25 @@ class CdnCluster:
         return CwndSampler(
             self.sim, hosts, interval=interval, created_after=created_after
         )
+
+    def start_timeline_sampler(self, interval: float = 2.0) -> "TimelineSampler | None":
+        """Start the Figure 7/8 timeline sampler (no-op when obs is off)."""
+        if not self.sim.obs.enabled:
+            return None
+        sampler = TimelineSampler(self, interval=interval)
+        sampler.start(initial_delay=0.0)
+        return sampler
+
+    def sync_flows(self) -> None:
+        """Flush live socket counters into their flow records.
+
+        Teardown does this for closed connections; call this at the end
+        of a run so flows still open report counters as of the final
+        instant instead of zeros.
+        """
+        for host in self.all_hosts():
+            for sock in host.sockets():
+                sock.sync_flow()
 
     def run(self, duration: float) -> float:
         """Advance the whole deployment by ``duration`` simulated seconds."""

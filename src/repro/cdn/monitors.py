@@ -4,15 +4,25 @@ The paper's Figure 10/11 methodology: "we sample the sizes of outgoing
 connections each minute using the ss tool.  We further consider only
 connections that were created after Riptide was started."
 :class:`CwndSampler` reproduces that sampler over any set of hosts.
+
+:class:`TimelineSampler` is the Figure 7/8 companion: it snapshots each
+agent's learned windows and installed-route count (plus the cluster-wide
+active-fault gauge) into the run's :class:`~repro.obs.timeline.Timeline`
+on a sim-time cadence, giving the report and the CSV export a
+windows-over-time view.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.linux.host import Host
 from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicProcess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cdn.cluster import CdnCluster
 
 
 @dataclass(frozen=True)
@@ -86,3 +96,60 @@ class CwndSampler:
 
     def __repr__(self) -> str:
         return f"<CwndSampler hosts={len(self._hosts)} samples={len(self.samples)}>"
+
+
+class TimelineSampler:
+    """Periodically snapshots cluster state into the run's timeline.
+
+    Per agent host: ``installed_routes`` (route-table size) and one
+    ``learned_cwnd:<prefix>`` series per learned destination.  Cluster
+    wide: ``faults_active`` (the fault injector's gauge).  Sampling only
+    reads state, so enabling it never perturbs protocol behaviour or the
+    seeded random streams — the per-run results stay identical.
+    """
+
+    def __init__(self, cluster: "CdnCluster", interval: float = 2.0) -> None:
+        self._cluster = cluster
+        self._sim = cluster.sim
+        self._timeline = cluster.sim.obs.timeline
+        self._g_faults = cluster.sim.obs.metrics.gauge("faults_active")
+        self._process = PeriodicProcess(
+            cluster.sim, interval, self._sample, name="timeline-sampler"
+        )
+
+    @property
+    def running(self) -> bool:
+        return self._process.running
+
+    def start(self, initial_delay: float | None = None) -> None:
+        self._process.start(initial_delay=initial_delay)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _sample(self) -> None:
+        now = self._sim.now
+        timeline = self._timeline
+        timeline.record(now, "cluster", "faults_active", self._g_faults.value)
+        for agent in self._cluster.all_agents():
+            host = agent.host
+            timeline.record(
+                now, host.name, "installed_routes", float(len(host.route_table))
+            )
+            entries = sorted(
+                agent.learned_table().entries(),
+                key=lambda entry: str(entry.destination),
+            )
+            for entry in entries:
+                timeline.record(
+                    now,
+                    host.name,
+                    f"learned_cwnd:{entry.destination}",
+                    float(entry.window),
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"<TimelineSampler hosts={len(self._cluster.all_hosts())} "
+            f"running={self.running}>"
+        )

@@ -132,6 +132,7 @@ class ProbeFleet:
         close_before_round: bool = False,
         churn_probability: float = 0.0,
         rng=None,
+        arm: str = "",
     ) -> None:
         if not sizes:
             raise ValueError("probe fleet needs at least one probe size")
@@ -164,9 +165,15 @@ class ProbeFleet:
         self._process = PeriodicProcess(sim, interval, self._round, name="probes")
         self.results: list[ProbeResult] = []
         self.rounds_issued = 0
+        #: Experiment-arm tag stamped on probe spans ("control"/"riptide"
+        #: in paired studies) so the attribution report can compute per-arm
+        #: tail thresholds.
+        self.arm = arm
         self._metrics = sim.obs.metrics
         self._m_issued = self._metrics.counter("probe_transfers_issued")
         self._m_failed = self._metrics.counter("probe_failures")
+        self._obs_on = sim.obs.enabled
+        self._spans = sim.obs.spans
 
     @property
     def sizes(self) -> tuple[int, ...]:
@@ -234,12 +241,36 @@ class ProbeFleet:
             bucket=rtt_bucket(path_rtt),
             size=f"{size // 1000}KB",
         )
+        span = self._spans.begin(
+            self._sim.now,
+            f"probe {source.pop.code}->{target_pop.code} {size // 1000}KB",
+            "probe",
+            source.client.host.name,
+            arm=self.arm,
+            src_pop=source.pop.code,
+            dst_pop=target_pop.code,
+            size=size,
+            client=str(source.client.host.address),
+            dest=str(address),
+            bucket=rtt_bucket(path_rtt),
+        ) if self._obs_on else None
 
         def on_complete(result: TransferResult) -> None:
             if result.completed:
                 histogram.observe(result.total_time, t=result.completed_at)
             else:
                 self._m_failed.inc()
+            if span is not None:
+                closing: dict = {
+                    "completed": result.completed,
+                    "new_connection": result.new_connection,
+                    "initial_cwnd": result.initial_cwnd,
+                    "cwnd_source": result.cwnd_source,
+                    "client_port": result.local_port,
+                }
+                if not result.completed:
+                    closing["failed"] = result.failed_reason
+                self._spans.end(span, self._sim.now, **closing)
 
         probe.transfer = source.client.fetch(address, size, on_complete=on_complete)
         self.results.append(probe)

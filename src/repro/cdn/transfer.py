@@ -56,6 +56,11 @@ class TransferResult:
     failed_reason: str | None = None
     new_connection: bool = True
     initial_cwnd: int = 0
+    #: Client-side ephemeral port and initcwnd provenance of the
+    #: connection that carried this transfer — the join keys the
+    #: attribution report uses to find the matching flow records.
+    local_port: int = 0
+    cwnd_source: str = "default"
 
     @property
     def completed(self) -> bool:
@@ -148,6 +153,8 @@ class TransferClient:
             result.new_connection = False
             result.established_at = result.started_at
             result.initial_cwnd = conn.socket.cc.initial_cwnd
+            result.local_port = conn.socket.local_port
+            result.cwnd_source = conn.socket.cwnd_source
             self.connections_reused += 1
             self._m_reused.inc()
             self._issue(conn, result, on_complete)
@@ -207,6 +214,8 @@ class TransferClient:
         def on_established(sock: TcpSocket) -> None:
             result.established_at = self.host.sim.now
             result.initial_cwnd = sock.cc.initial_cwnd
+            result.local_port = sock.local_port
+            result.cwnd_source = sock.cwnd_source
             self._issue(conn, result, on_complete)
 
         sock = self.host.connect(

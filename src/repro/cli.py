@@ -10,14 +10,21 @@
     python -m repro faults               # list chaos scenarios + timelines
     python -m repro describe fig12_14    # what an experiment reproduces
     python -m repro metrics fig10        # run + print the metric table
+    python -m repro flows fig12_14       # run + print per-connection flow records
+    python -m repro report chaos_lossy_agent  # tail-latency attribution report
     python -m repro bench                # perf baseline -> BENCH_002.json
 
 ``run`` prints the same rows/series the corresponding paper figure or
 table reports.  ``metrics`` runs the experiment under an instrumentation
 capture (see :mod:`repro.obs`) and prints the aggregated metric table
 and trace-event totals instead — the operator's view of the same run.
-Experiments may be named by id (``fig10``) or by harness module name
-(``fig10_cmax_sweep``).
+``flows`` and ``report`` use the same capture but surface the flow
+records, lifecycle spans and the tail-latency attribution built from
+them (:mod:`repro.obs.report`).  Experiments may be named by id
+(``fig10``) or by harness module name (``fig10_cmax_sweep``).
+
+``flows`` and ``report`` accept ``--workers``; the worker captures merge
+deterministically, so their output is byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -158,6 +165,84 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the metric table to PATH as CSV",
     )
+    metrics_parser.add_argument(
+        "--trace-csv",
+        metavar="PATH",
+        help="also write the retained trace events to PATH as CSV",
+    )
+
+    flows_parser = subparsers.add_parser(
+        "flows",
+        help="run an experiment and print its per-connection flow records",
+    )
+    flows_parser.add_argument(
+        "experiment_id", help="e.g. fig12_14 or chaos_lossy_agent"
+    )
+    flows_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced-scale run (smaller topology / fewer samples)",
+    )
+    flows_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent simulation arms across N worker processes "
+        "(output is byte-identical to serial)",
+    )
+    flows_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the flow records as JSON instead of a summary table",
+    )
+    flows_parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="also write the flow records to PATH as JSON Lines",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="run an experiment and print its tail-latency attribution report",
+    )
+    report_parser.add_argument(
+        "experiment_id", help="e.g. chaos_lossy_agent or fig12_14"
+    )
+    report_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced-scale run (smaller topology / fewer samples)",
+    )
+    report_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent simulation arms across N worker processes "
+        "(output is byte-identical to serial)",
+    )
+    report_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    report_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the report JSON to PATH",
+    )
+    report_parser.add_argument(
+        "--spans",
+        metavar="PATH",
+        help="also write the lifecycle spans to PATH as Chrome trace JSON "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
+    report_parser.add_argument(
+        "--timeline-csv",
+        metavar="PATH",
+        help="also write the sampled time series to PATH as CSV",
+    )
 
     return parser
 
@@ -278,16 +363,29 @@ def _cmd_faults(duration: float) -> int:
     return 0
 
 
-def _cmd_metrics(experiment_id: str, fast: bool, as_json: bool, csv_path: str | None) -> int:
-    import json
+def _run_captured(
+    experiment_id: str, fast: bool, workers: int = 1, what: str = "metrics"
+):
+    """Run one experiment under an instrumentation capture.
 
-    from repro.analysis.export import metrics_to_csv, metrics_to_json, trace_to_json
-
+    The capture uses the default capacities — the same ones parallel
+    workers capture under — so the merged stores (and everything derived
+    from them) are byte-identical between serial and ``--workers N``.
+    """
     exp = get_experiment(experiment_id)
     kwargs = _fast_kwargs(experiment_id) if fast else {}
+    if workers > 1:
+        if exp.supports_workers:
+            kwargs["workers"] = workers
+        else:
+            print(
+                f"note: {experiment_id} has no independent simulation arms; "
+                "running serially",
+                file=sys.stderr,
+            )
     if exp.simulation_backed:
         print(
-            f"running {experiment_id} under metrics capture "
+            f"running {experiment_id} under {what} capture "
             "(full simulation; this takes a while)...",
             file=sys.stderr,
         )
@@ -295,6 +393,31 @@ def _cmd_metrics(experiment_id: str, fast: bool, as_json: bool, csv_path: str | 
     with capture() as instrumentation:
         exp.run(**kwargs)
     elapsed = time.perf_counter() - started
+    return instrumentation, elapsed
+
+
+def _warn_trace_truncation(instrumentation) -> None:
+    dropped = instrumentation.trace.dropped
+    if dropped > 0:
+        print(
+            f"warning: trace ring dropped {dropped} oldest events "
+            f"(retained {len(instrumentation.trace)}); totals stay exact",
+            file=sys.stderr,
+        )
+
+
+def _cmd_metrics(
+    experiment_id: str,
+    fast: bool,
+    as_json: bool,
+    csv_path: str | None,
+    trace_csv_path: str | None,
+) -> int:
+    import json
+
+    from repro.analysis.export import metrics_to_csv, metrics_to_json, trace_to_json
+
+    instrumentation, elapsed = _run_captured(experiment_id, fast)
     if as_json:
         payload = {
             "experiment": experiment_id,
@@ -314,11 +437,104 @@ def _cmd_metrics(experiment_id: str, fast: bool, as_json: bool, csv_path: str | 
             ):
                 print(f"{event_type.value:<{width}}  {count}")
         print(f"\n[{experiment_id} completed in {elapsed:.1f}s]")
+    _warn_trace_truncation(instrumentation)
     if csv_path is not None:
         from repro.analysis.export import write_csv
 
         write_csv(csv_path, metrics_to_csv(instrumentation.metrics))
         print(f"metrics CSV written to {csv_path}", file=sys.stderr)
+    if trace_csv_path is not None:
+        from repro.analysis.export import trace_to_csv, write_csv
+
+        write_csv(trace_csv_path, trace_to_csv(instrumentation.trace))
+        print(f"trace CSV written to {trace_csv_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_flows(
+    experiment_id: str,
+    fast: bool,
+    workers: int,
+    as_json: bool,
+    jsonl_path: str | None,
+) -> int:
+    from repro.analysis.export import flows_to_json, flows_to_jsonl
+
+    instrumentation, elapsed = _run_captured(
+        experiment_id, fast, workers, what="flow"
+    )
+    flows = instrumentation.flows
+    if as_json:
+        print(flows_to_json(flows))
+    else:
+        records = flows.records()
+        closed = sum(1 for r in records if r.closed_at is not None)
+        by_source: dict[str, int] = {}
+        by_state: dict[str, int] = {}
+        for record in records:
+            by_source[record.cwnd_source] = by_source.get(record.cwnd_source, 0) + 1
+            by_state[record.final_state] = by_state.get(record.final_state, 0) + 1
+        print(f"== flow records: {experiment_id} ==")
+        print(
+            f"recorded: {flows.next_id}  retained: {len(flows)}  "
+            f"dropped: {flows.dropped}"
+        )
+        print(f"closed: {closed}  open: {len(records) - closed}")
+        print(
+            "initial cwnd source: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(by_source.items()))
+        )
+        print(
+            "final state: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(by_state.items()))
+        )
+        print(f"\n[{experiment_id} completed in {elapsed:.1f}s]")
+    _warn_trace_truncation(instrumentation)
+    if jsonl_path is not None:
+        with open(jsonl_path, "w", encoding="utf-8") as handle:
+            handle.write(flows_to_jsonl(flows))
+        print(f"flow records written to {jsonl_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(
+    experiment_id: str,
+    fast: bool,
+    workers: int,
+    as_json: bool,
+    out_path: str | None,
+    spans_path: str | None,
+    timeline_csv_path: str | None,
+) -> int:
+    from repro.analysis.export import (
+        spans_to_chrome_json,
+        timeline_to_csv,
+        write_csv,
+    )
+    from repro.obs.report import build_report, render_report, report_to_json
+
+    instrumentation, elapsed = _run_captured(
+        experiment_id, fast, workers, what="report"
+    )
+    report = build_report(instrumentation, experiment=experiment_id)
+    if as_json:
+        print(report_to_json(report))
+    else:
+        print(render_report(report))
+        print(f"\n[{experiment_id} completed in {elapsed:.1f}s]")
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(report_to_json(report))
+            handle.write("\n")
+        print(f"report JSON written to {out_path}", file=sys.stderr)
+    if spans_path is not None:
+        with open(spans_path, "w", encoding="utf-8") as handle:
+            handle.write(spans_to_chrome_json(instrumentation.spans))
+            handle.write("\n")
+        print(f"Chrome trace written to {spans_path}", file=sys.stderr)
+    if timeline_csv_path is not None:
+        write_csv(timeline_csv_path, timeline_to_csv(instrumentation.timeline))
+        print(f"timeline CSV written to {timeline_csv_path}", file=sys.stderr)
     return 0
 
 
@@ -371,6 +587,33 @@ def main(argv: list[str] | None = None) -> int:
                 args.fast,
                 args.json,
                 args.csv,
+                args.trace_csv,
+            )
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.command == "flows":
+        try:
+            return _cmd_flows(
+                _normalize_experiment_id(args.experiment_id),
+                args.fast,
+                args.workers,
+                args.json,
+                args.jsonl,
+            )
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.command == "report":
+        try:
+            return _cmd_report(
+                _normalize_experiment_id(args.experiment_id),
+                args.fast,
+                args.workers,
+                args.json,
+                args.out,
+                args.spans,
+                args.timeline_csv,
             )
         except KeyError as error:
             print(f"error: {error}", file=sys.stderr)

@@ -35,6 +35,7 @@ from repro.core.trend import TrendDetector
 from repro.linux.errors import ToolError
 from repro.linux.host import Host
 from repro.net.addresses import Prefix
+from repro.obs.span import Span
 from repro.obs.trace import EventType
 from repro.sim.process import PeriodicProcess
 
@@ -118,6 +119,12 @@ class RiptideAgent:
 
         obs = host.sim.obs
         self._trace = obs.trace
+        self._obs_on = obs.enabled
+        self._spans = obs.spans
+        #: Open guard-hold spans by destination (begun at trip, ended at
+        #: release/crash/stop) and the span of the poll tick in progress.
+        self._guard_spans: dict[Prefix, Span] = {}
+        self._poll_span: Span | None = None
         metrics = obs.metrics
         self._m_polls = metrics.counter("riptide_polls")
         self._m_observed = metrics.counter("riptide_connections_observed")
@@ -180,6 +187,7 @@ class RiptideAgent:
             self._learned.clear()
             if self._guard is not None:
                 self._guard.reset()
+            self._close_guard_spans(now, "stop")
             self._g_learned.set(0)
 
     def crash(self) -> None:
@@ -219,7 +227,13 @@ class RiptideAgent:
         self._last_advisory_scale = 1.0
         if self._guard is not None:
             self._guard.reset()
+        self._close_guard_spans(now, "crash")
         self._g_learned.set(0)
+
+    def _close_guard_spans(self, now: float, ended_by: str) -> None:
+        for span in self._guard_spans.values():
+            self._spans.end(span, now, released=False, ended_by=ended_by)
+        self._guard_spans.clear()
 
     def set_poll_jitter(self, jitter: Callable[[], float] | None) -> None:
         """Fault injection: add per-tick drift to the poll loop."""
@@ -304,6 +318,9 @@ class RiptideAgent:
         now = self.host.sim.now
         self.stats.polls += 1
         self._m_polls.inc()
+        self._poll_span = self._spans.begin(
+            now, "agent poll", "agent", self.host.name
+        ) if self._obs_on else None
         if self.auditor is not None:
             # Audit *before* the install pass: a divergence is observed
             # here once, then healed by this very tick's reinstall.
@@ -321,6 +338,9 @@ class RiptideAgent:
                     EventType.GUARD_RELEASED,
                     self.host.name,
                     destination=str(destination),
+                )
+                self._spans.end(
+                    self._guard_spans.pop(destination, None), now, released=True
                 )
         routes_touched_before = self.stats.routes_installed
         grouped, health = self._observe_and_group()
@@ -358,6 +378,14 @@ class RiptideAgent:
         self._h_poll_cost.observe(
             observed + (self.stats.routes_installed - routes_touched_before), t=now
         )
+        if self._poll_span is not None:
+            self._spans.end(
+                self._poll_span,
+                self.host.sim.now,
+                observed=observed,
+                installed=self.stats.routes_installed - routes_touched_before,
+            )
+            self._poll_span = None
 
     def _observe_and_group(
         self,
@@ -556,6 +584,21 @@ class RiptideAgent:
             window=entry.window if entry is not None else None,
             hold=self._guard.hold,
         )
+        if self._obs_on:
+            self._spans.end(self._guard_spans.pop(destination, None), now)
+            span = self._spans.begin(
+                now,
+                f"guard-hold {destination}",
+                "guard",
+                self.host.name,
+                parent=self._poll_span,
+                destination=str(destination),
+                reason=reason,
+                window=entry.window if entry is not None else None,
+                hold=self._guard.hold,
+            )
+            if span is not None:
+                self._guard_spans[destination] = span
         # Withdraw whatever is actually installed — the learned entry
         # when there is one, but also a stale post-crash route the agent
         # no longer remembers learning.

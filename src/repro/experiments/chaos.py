@@ -127,7 +127,10 @@ def run_chaos_arm(
     scenario = get_scenario(config.scenario)
     topology = sub_topology(scenario.pop_codes)
     cluster_config = replace(
-        config.cluster, seed=config.seed, riptide=config.riptide
+        config.cluster,
+        seed=config.seed,
+        riptide=config.riptide,
+        label="riptide" if riptide_enabled else "control",
     )
     cluster = CdnCluster(topology, cluster_config)
     from repro.cdn.workload import OrganicWorkloadConfig
@@ -150,10 +153,12 @@ def run_chaos_arm(
         host_indices=[1],
         churn_probability=config.probe_churn,
     )
+    cluster.start_timeline_sampler()
     fleet.start(initial_delay=0.0)
     injector = FaultInjector(cluster, scenario.build(config.duration))
     injector.arm()
     cluster.run(config.duration)
+    cluster.sync_flows()
     return ChaosArmRun(
         cluster=cluster,
         fleet=fleet,

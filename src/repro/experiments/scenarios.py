@@ -145,7 +145,10 @@ def run_probe_arm(config: ProbeStudyConfig, riptide_enabled: bool) -> ProbeStudy
     """
     topology = sub_topology(config.topology_codes)
     cluster_config = replace(
-        config.cluster, seed=config.seed, riptide=config.riptide
+        config.cluster,
+        seed=config.seed,
+        riptide=config.riptide,
+        label="riptide" if riptide_enabled else "control",
     )
     cluster = CdnCluster(topology, cluster_config)
     workload_config = OrganicWorkloadConfig(
@@ -171,8 +174,10 @@ def run_probe_arm(config: ProbeStudyConfig, riptide_enabled: bool) -> ProbeStudy
         host_indices=[1],
         churn_probability=config.probe_churn,
     )
+    cluster.start_timeline_sampler()
     fleet.start(initial_delay=0.0)
     cluster.run(config.duration)
+    cluster.sync_flows()
     return ProbeStudyRun(cluster=cluster, fleet=fleet, riptide_enabled=riptide_enabled)
 
 

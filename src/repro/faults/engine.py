@@ -78,6 +78,10 @@ class FaultInjector:
         self._trace = obs.trace
         self._metrics = obs.metrics
         self._g_active = self._metrics.gauge("faults_active")
+        self._obs_on = obs.enabled
+        self._spans = obs.spans
+        #: Open fault-window spans keyed by spec identity.
+        self._fault_spans: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # arming
@@ -118,6 +122,20 @@ class FaultInjector:
             fault=spec.describe(),
             **detail,
         )
+        if self._obs_on:
+            extras: dict = {"kind": spec.kind}
+            pop = getattr(spec, "pop", None)
+            if pop is not None:
+                extras["pop"] = pop
+            span = self._spans.begin(
+                self.cluster.sim.now,
+                spec.describe(),
+                "fault",
+                _SOURCE,
+                **extras,
+            )
+            if span is not None:
+                self._fault_spans[id(spec)] = span
 
     def _clear(self, spec: FaultSpec, deactivate: Callable[[], dict]) -> None:
         detail = deactivate()
@@ -133,6 +151,7 @@ class FaultInjector:
             fault=spec.describe(),
             **detail,
         )
+        self._spans.end(self._fault_spans.pop(id(spec), None), self.cluster.sim.now)
 
     # ------------------------------------------------------------------
     # target resolution (fails fast at arm time)

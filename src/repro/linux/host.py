@@ -81,14 +81,24 @@ class Host:
         An installed kernel hook wins, then longest-prefix match in the
         route table, then the host default (10 segments on stock Linux).
         """
+        return self.initcwnd_with_source(destination)[0]
+
+    def initcwnd_with_source(self, destination: IPv4Address) -> tuple[int, str]:
+        """Resolve the initial window plus where it came from.
+
+        The source tag (``"hook"``, ``"route"`` or ``"default"``) lands
+        on the flow record; the attribution report uses it to tell a
+        Riptide-jump-started connection from one that fell back to the
+        sysctl default because no route was learned yet.
+        """
         if self.initcwnd_hook is not None:
             value = self.initcwnd_hook(destination)
             if value is not None:
-                return value
+                return value, "hook"
         route = self.route_table.lookup(destination)
         if route is not None and route.initcwnd is not None:
-            return route.initcwnd
-        return self.config.default_initcwnd
+            return route.initcwnd, "route"
+        return self.config.default_initcwnd, "default"
 
     def initrwnd_for(self, destination: IPv4Address) -> int:
         """Initial receive window (segments) advertised to ``destination``."""
@@ -113,14 +123,16 @@ class Host:
         """Actively open a connection and return the client socket."""
         remote = IPv4Address(remote_address)
         local_port = next(self._ephemeral_ports)
+        initial_cwnd, cwnd_source = self.initcwnd_with_source(remote)
         sock = TcpSocket(
             host=self,
             local_port=local_port,
             remote_address=remote,
             remote_port=remote_port,
             config=self.config,
-            initial_cwnd=self.initcwnd_for(remote),
+            initial_cwnd=initial_cwnd,
             initial_rwnd_segments=self.initrwnd_for(remote),
+            cwnd_source=cwnd_source,
         )
         sock.is_client = True
         sock.on_established = on_established
@@ -138,14 +150,16 @@ class Host:
         remote_port: int,
     ) -> TcpSocket:
         """Build and register the passive-side socket (listener path)."""
+        initial_cwnd, cwnd_source = self.initcwnd_with_source(remote_address)
         sock = TcpSocket(
             host=self,
             local_port=local_port,
             remote_address=remote_address,
             remote_port=remote_port,
             config=self.config,
-            initial_cwnd=self.initcwnd_for(remote_address),
+            initial_cwnd=initial_cwnd,
             initial_rwnd_segments=self.initrwnd_for(remote_address),
+            cwnd_source=cwnd_source,
         )
         self._register(sock)
         return sock

@@ -1,13 +1,18 @@
 """``repro.obs`` — the observability layer.
 
 Metrics (:mod:`repro.obs.metrics`), structured tracing
-(:mod:`repro.obs.trace`), the learned-table/route-table consistency
-auditor (:mod:`repro.obs.audit`), and the per-simulator wiring
-(:mod:`repro.obs.instrument`).  See the "Observability" section of
-``docs/ARCHITECTURE.md`` for the metric-name reference.
+(:mod:`repro.obs.trace`), per-connection flow records
+(:mod:`repro.obs.flow`), lifecycle spans (:mod:`repro.obs.span`),
+time-series snapshots (:mod:`repro.obs.timeline`), the tail-latency
+attribution report (:mod:`repro.obs.report`), the learned-table/
+route-table consistency auditor (:mod:`repro.obs.audit`), and the
+per-simulator wiring (:mod:`repro.obs.instrument`).  See the
+"Observability" section of ``docs/ARCHITECTURE.md`` for the metric-name
+reference and the attribution-cause taxonomy.
 """
 
 from repro.obs.audit import Auditor, Divergence
+from repro.obs.flow import FlowLog, FlowRecord
 from repro.obs.instrument import (
     Instrumentation,
     active_instrumentation,
@@ -23,23 +28,36 @@ from repro.obs.metrics import (
     MetricRow,
     format_labels,
 )
+from repro.obs.report import ATTRIBUTION_CAUSES, build_report, render_report, report_to_json
+from repro.obs.span import Span, SpanLog
+from repro.obs.timeline import Timeline, TimelinePoint
 from repro.obs.trace import EventType, TraceEvent, TraceLog
 
 __all__ = [
+    "ATTRIBUTION_CAUSES",
     "Auditor",
     "Counter",
     "Divergence",
     "EventType",
+    "FlowLog",
+    "FlowRecord",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "MetricRow",
     "MetricsRegistry",
+    "Span",
+    "SpanLog",
+    "Timeline",
+    "TimelinePoint",
     "TraceEvent",
     "TraceLog",
     "active_instrumentation",
+    "build_report",
     "capture",
     "disabled",
     "format_labels",
     "instrumentation_for_new_simulator",
+    "render_report",
+    "report_to_json",
 ]

@@ -31,37 +31,55 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.flow import FlowLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import SpanLog
+from repro.obs.timeline import Timeline
 from repro.obs.trace import TraceLog
 
 
 class Instrumentation:
-    """The metrics registry and trace log of one run."""
+    """The metrics, traces, flows, spans and timeline of one run."""
 
-    def __init__(self, trace_capacity: int = 10_000, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        trace_capacity: int = 10_000,
+        enabled: bool = True,
+        flow_capacity: int = 100_000,
+        span_capacity: int = 200_000,
+        timeline_capacity: int = 200_000,
+    ) -> None:
         self.metrics = MetricsRegistry()
         self.trace = TraceLog(capacity=trace_capacity)
+        self.flows = FlowLog(capacity=flow_capacity)
+        self.spans = SpanLog(capacity=span_capacity)
+        self.timeline = Timeline(capacity=timeline_capacity)
         #: When False, components skip instrumentation on their hot paths.
         #: The registry still works (handles can be created and read) so
         #: nothing needs to special-case a disabled run.
         self.enabled = enabled
 
     def merge_from(self, other: "Instrumentation") -> None:
-        """Fold another run's metrics and trace events into this one.
+        """Fold another run's measurements into this one.
 
         Counters add, gauges adopt the other run's last write (tracking
         the combined high-water mark), histograms merge their samples,
-        and trace events append in order — the same end state a serial
+        trace events append in order, and flow/span/timeline stores
+        append with dense-id renumbering — the same end state a serial
         execution of both workloads under one capture would produce.
         """
         self.metrics.merge_from(other.metrics)
         self.trace.merge_from(other.trace)
+        self.flows.merge_from(other.flows)
+        self.spans.merge_from(other.spans)
+        self.timeline.merge_from(other.timeline)
 
     def __repr__(self) -> str:
         state = "" if self.enabled else " disabled"
         return (
             f"<Instrumentation metrics={len(self.metrics)} "
-            f"trace={len(self.trace)}{state}>"
+            f"trace={len(self.trace)} flows={len(self.flows)} "
+            f"spans={len(self.spans)}{state}>"
         )
 
 
@@ -80,9 +98,9 @@ def instrumentation_for_new_simulator() -> Instrumentation:
 
 
 @contextmanager
-def capture(trace_capacity: int = 10_000) -> Iterator[Instrumentation]:
+def capture(trace_capacity: int = 10_000, **capacities: int) -> Iterator[Instrumentation]:
     """Aggregate all simulators created in the block into one instrumentation."""
-    instrumentation = Instrumentation(trace_capacity=trace_capacity)
+    instrumentation = Instrumentation(trace_capacity=trace_capacity, **capacities)
     _active.append(instrumentation)
     try:
         yield instrumentation

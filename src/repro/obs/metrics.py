@@ -16,7 +16,6 @@ simulation's performance profile.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -73,29 +72,41 @@ class Gauge:
 class Histogram:
     """A sample distribution with exact percentile readout.
 
-    Samples are kept sorted (insertion via :mod:`bisect`), so quantiles
-    are exact rather than bucket-approximated.  Each observation may
-    carry the simulation time it was taken at; :meth:`observed_between`
-    slices the distribution by sim-time window, which is what lets one
-    histogram serve both whole-run and warmup-excluded readouts.
+    Observation is O(1) append; the sample list is sorted lazily on the
+    first ordered read (percentile/min/max/values) after new samples
+    arrive, so quantiles stay exact rather than bucket-approximated
+    without hot paths paying an O(n) insertion per sample.  Each
+    observation may carry the simulation time it was taken at;
+    :meth:`observed_between` slices the distribution by sim-time window,
+    which is what lets one histogram serve both whole-run and
+    warmup-excluded readouts.
     """
 
     name: str
     labels: LabelSet = ()
-    _sorted: list[float] = field(default_factory=list)
+    _samples: list[float] = field(default_factory=list)
     _timed: list[tuple[float, float]] = field(default_factory=list)
     _sum: float = 0.0
+    _dirty: bool = False
 
     def observe(self, value: float, t: float | None = None) -> None:
         value = float(value)
-        bisect.insort(self._sorted, value)
+        self._samples.append(value)
+        self._dirty = True
         self._sum += value
         if t is not None:
             self._timed.append((t, value))
 
+    def _ordered(self) -> list[float]:
+        """The samples, sorted in place (re-sorted only when dirty)."""
+        if self._dirty:
+            self._samples.sort()
+            self._dirty = False
+        return self._samples
+
     @property
     def count(self) -> int:
-        return len(self._sorted)
+        return len(self._samples)
 
     @property
     def sum(self) -> float:
@@ -103,30 +114,31 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        if not self._sorted:
+        if not self._samples:
             raise ValueError(f"histogram {self.name!r} has no samples")
-        return self._sum / len(self._sorted)
+        return self._sum / len(self._samples)
 
     @property
     def min(self) -> float:
-        if not self._sorted:
+        if not self._samples:
             raise ValueError(f"histogram {self.name!r} has no samples")
-        return self._sorted[0]
+        return self._ordered()[0]
 
     @property
     def max(self) -> float:
-        if not self._sorted:
+        if not self._samples:
             raise ValueError(f"histogram {self.name!r} has no samples")
-        return self._sorted[-1]
+        return self._ordered()[-1]
 
     def percentile(self, p: float) -> float:
         """Exact percentile ``p`` in [0, 100] (nearest-rank)."""
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
-        if not self._sorted:
+        if not self._samples:
             raise ValueError(f"histogram {self.name!r} has no samples")
-        rank = max(0, min(len(self._sorted) - 1, round(p / 100.0 * (len(self._sorted) - 1))))
-        return self._sorted[rank]
+        ordered = self._ordered()
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
 
     def observed_between(self, start: float, end: float) -> list[float]:
         """Values observed with sim-time ``t`` in ``[start, end)``.
@@ -137,7 +149,7 @@ class Histogram:
 
     def values(self) -> list[float]:
         """All samples, sorted ascending."""
-        return list(self._sorted)
+        return list(self._ordered())
 
 
 @dataclass(frozen=True)
@@ -222,10 +234,8 @@ class MetricsRegistry:
             mine = self._histograms.get(key)
             if mine is None:
                 mine = self._histograms[key] = Histogram(histogram.name, key[1])
-            merged = list(mine._sorted)
-            merged.extend(histogram._sorted)
-            merged.sort()
-            mine._sorted = merged
+            mine._samples.extend(histogram._samples)
+            mine._dirty = bool(mine._samples)
             mine._sum += histogram._sum
             mine._timed.extend(histogram._timed)
 

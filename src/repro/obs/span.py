@@ -1,0 +1,186 @@
+"""Lifecycle spans: begin/end intervals with parent causality.
+
+The Dapper-shaped complement to the point-event trace log: a
+:class:`Span` covers an *interval* of simulated time — one agent poll
+tick, one probe transfer, one guard hold, one fault window — and may
+name a parent span, so a guard trip recorded inside a poll tick is
+causally attached to that tick.
+
+Spans export as Chrome trace-event JSON (the ``chrome://tracing`` /
+Perfetto format): completed spans become ``"X"`` (complete) events with
+microsecond ``ts``/``dur``, spans still open at the end of a run become
+``"B"`` (begin) events.  Each distinct span source gets its own track
+(``tid``), so a Perfetto timeline shows one lane per host/component.
+
+Like :class:`~repro.obs.flow.FlowLog`, the log is bounded drop-newest
+with dense ids, so :meth:`SpanLog.merge_from` renumbers and reproduces a
+serial run's retained spans exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Span:
+    """One interval of simulated time on one source."""
+
+    span_id: int
+    name: str
+    #: Coarse grouping used by the report joiner: ``"agent"``,
+    #: ``"probe"``, ``"guard"``, ``"fault"``.
+    category: str
+    source: str
+    begin: float
+    end: float | None = None
+    parent_id: int | None = None
+    details: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.begin
+
+    def detail(self, key: str, default: object = None) -> object:
+        for k, v in self.details:
+            if k == key:
+                return v
+        return default
+
+
+class SpanLog:
+    """All spans of one run, bounded drop-newest with dense ids."""
+
+    def __init__(self, capacity: int = 200_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._spans: list[Span] = []
+        self._next_id = 0
+
+    def begin(
+        self,
+        time: float,
+        name: str,
+        category: str,
+        source: str,
+        parent: Span | None = None,
+        **details: object,
+    ) -> Span | None:
+        """Open a span.  Returns None past capacity (counted, not stored)."""
+        span_id = self._next_id
+        self._next_id += 1
+        if len(self._spans) >= self.capacity:
+            return None
+        span = Span(
+            span_id=span_id,
+            name=name,
+            category=category,
+            source=source,
+            begin=time,
+            parent_id=parent.span_id if parent is not None else None,
+            details=tuple(details.items()),
+        )
+        self._spans.append(span)
+        return span
+
+    def end(self, span: Span | None, time: float, **details: object) -> None:
+        """Close a span, appending any closing details.
+
+        Accepts None (a span that was dropped at begin) so call sites
+        never need to guard.
+        """
+        if span is None:
+            return
+        span.end = time
+        if details:
+            span.details = span.details + tuple(details.items())
+
+    def merge_from(self, other: "SpanLog") -> None:
+        """Fold another log's spans into this one, byte-identically.
+
+        Span ids *and* parent references are renumbered by this log's
+        ``next_id`` offset — the ids a serial run beginning the same
+        spans in task order would have assigned — and retained spans
+        append until capacity (drop-newest, matching serial retention).
+        """
+        offset = self._next_id
+        room = self.capacity - len(self._spans)
+        for index, span in enumerate(other._spans):
+            span.span_id += offset
+            if span.parent_id is not None:
+                span.parent_id += offset
+            if index < room:
+                self._spans.append(span)
+        self._next_id = offset + other._next_id
+
+    @property
+    def next_id(self) -> int:
+        """Total spans ever begun."""
+        return self._next_id
+
+    @property
+    def dropped(self) -> int:
+        """Spans begun past capacity and therefore not retained."""
+        return self._next_id - len(self._spans)
+
+    def spans(
+        self,
+        category: str | None = None,
+        source: str | None = None,
+        open_only: bool = False,
+    ) -> list[Span]:
+        """Retained spans, optionally filtered."""
+        selected = []
+        for span in self._spans:
+            if category is not None and span.category != category:
+                continue
+            if source is not None and span.source != source:
+                continue
+            if open_only and span.end is not None:
+                continue
+            selected.append(span)
+        return selected
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Spans as Chrome trace-event objects (``ts``/``dur`` in µs).
+
+        Completed spans become phase ``"X"`` events; spans still open
+        become phase ``"B"`` events.  Sources map to ``tid`` tracks in
+        sorted order so the layout is deterministic.
+        """
+        tids = {
+            source: tid
+            for tid, source in enumerate(
+                sorted({span.source for span in self._spans}), start=1
+            )
+        }
+        events: list[dict] = []
+        for span in self._spans:
+            args: dict = {"span_id": span.span_id}
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            args.update({key: value for key, value in span.details})
+            event = {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X" if span.end is not None else "B",
+                "ts": span.begin * 1e6,
+                "pid": 1,
+                "tid": tids[span.source],
+                "args": args,
+            }
+            if span.end is not None:
+                event["dur"] = (span.end - span.begin) * 1e6
+            events.append(event)
+        return events
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:
+        open_count = sum(1 for span in self._spans if span.end is None)
+        return (
+            f"<SpanLog retained={len(self._spans)}/{self.capacity} "
+            f"begun={self._next_id} open={open_count} dropped={self.dropped}>"
+        )

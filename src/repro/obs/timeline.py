@@ -1,0 +1,88 @@
+"""Time-series snapshots on a sim-time cadence.
+
+The paper's operators watch congestion windows *in flight* (Section IV
+samples every minute with ``ss``; Figures 7/8 plot learned windows over
+time).  A :class:`Timeline` is the store for that view: periodic
+``(time, source, series, value)`` points — per-destination learned
+windows, installed-route counts, active-fault counts — recorded by a
+sampler (:class:`~repro.cdn.monitors.TimelineSampler`) and exportable as
+long-format CSV.
+
+The store is bounded drop-newest with a total-recorded counter, so
+merging per-worker timelines in task order reproduces a serial run's
+retained points exactly (same scheme as :class:`~repro.obs.flow.FlowLog`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TimelinePoint:
+    """One sampled value of one series on one source."""
+
+    time: float
+    source: str
+    series: str
+    value: float
+
+
+class Timeline:
+    """All timeline points of one run, bounded drop-newest."""
+
+    def __init__(self, capacity: int = 200_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._points: list[TimelinePoint] = []
+        self._recorded = 0
+
+    def record(self, time: float, source: str, series: str, value: float) -> None:
+        """Append one sample (counted but not stored past capacity)."""
+        self._recorded += 1
+        if len(self._points) < self.capacity:
+            self._points.append(TimelinePoint(time, source, series, float(value)))
+
+    def merge_from(self, other: "Timeline") -> None:
+        """Append another timeline's retained points (drop-newest)."""
+        room = self.capacity - len(self._points)
+        self._points.extend(other._points[:room])
+        self._recorded += other._recorded
+
+    @property
+    def recorded(self) -> int:
+        """Total points ever recorded (not capacity-limited)."""
+        return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        return self._recorded - len(self._points)
+
+    def points(
+        self,
+        series: str | None = None,
+        source: str | None = None,
+    ) -> list[TimelinePoint]:
+        """Retained points, optionally filtered by series/source."""
+        selected = []
+        for point in self._points:
+            if series is not None and point.series != series:
+                continue
+            if source is not None and point.source != source:
+                continue
+            selected.append(point)
+        return selected
+
+    def series_names(self) -> list[str]:
+        """Distinct ``(source, series)`` pairs flattened, sorted."""
+        return sorted({f"{p.source}:{p.series}" for p in self._points})
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Timeline retained={len(self._points)}/{self.capacity} "
+            f"recorded={self._recorded} series={len(self.series_names())}>"
+        )

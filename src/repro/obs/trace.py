@@ -120,6 +120,21 @@ class TraceLog:
         """Total events per type ever recorded (not ring-limited)."""
         return dict(self._totals)
 
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded, across all types (not ring-limited)."""
+        return sum(self._totals.values())
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring (recorded minus retained).
+
+        The per-type totals never truncate, so this is exact; a non-zero
+        value means :meth:`events` is a *suffix* of the run, not the
+        whole story — ``repro metrics`` warns when that happens.
+        """
+        return self.recorded - len(self._events)
+
     def last(self, type: EventType | None = None) -> TraceEvent | None:
         """Most recent retained event (of one type, when given)."""
         if type is None:
@@ -135,5 +150,5 @@ class TraceLog:
     def __repr__(self) -> str:
         return (
             f"<TraceLog retained={len(self._events)}/{self.capacity} "
-            f"recorded={sum(self._totals.values())}>"
+            f"recorded={self.recorded} dropped={self.dropped}>"
         )

@@ -125,6 +125,7 @@ class TcpSocket:
         "rtos_fired", "fast_retransmits", "_consecutive_rtos",
         "_obs_on", "_trace", "_m_retransmitted", "_m_rtos",
         "_m_fast_rexmit", "_m_opened", "_h_cwnd_at_close",
+        "cwnd_source", "_flow", "_flow_ss_pending",
     )
 
     def __init__(
@@ -136,6 +137,7 @@ class TcpSocket:
         config: TcpConfig,
         initial_cwnd: int,
         initial_rwnd_segments: int,
+        cwnd_source: str = "default",
     ) -> None:
         self._host = host
         self._sim = host.sim
@@ -206,6 +208,8 @@ class TcpSocket:
         self._consecutive_rtos = 0
 
         # --- instrumentation (handles cached; see repro.obs) ---------------
+        #: Where ``initial_cwnd`` came from: "route" / "hook" / "default".
+        self.cwnd_source = cwnd_source
         obs = host.sim.obs
         self._obs_on = obs.enabled
         self._trace = obs.trace
@@ -214,6 +218,20 @@ class TcpSocket:
         self._m_fast_rexmit = obs.metrics.counter("tcp_fast_retransmits")
         self._m_opened = obs.metrics.counter("tcp_connections_opened")
         self._h_cwnd_at_close = obs.metrics.histogram("tcp_cwnd_at_close")
+        # is_client is stamped by the host after construction; the flow
+        # record catches up in _become_established.
+        self._flow = obs.flows.begin(
+            host=host.name,
+            local=str(host.address),
+            local_port=local_port,
+            remote=str(remote_address),
+            remote_port=remote_port,
+            opened_at=self._sim.now,
+            is_client=False,
+            initial_cwnd=initial_cwnd,
+            cwnd_source=cwnd_source,
+        ) if self._obs_on else None
+        self._flow_ss_pending = self._flow is not None
 
     # ------------------------------------------------------------------
     # public API
@@ -401,6 +419,10 @@ class TcpSocket:
         self.state = TcpState.ESTABLISHED
         self.established_at = self._sim.now
         self._m_opened.inc()
+        if self._flow is not None:
+            self._flow.is_client = self.is_client
+            self._flow.established_at = self._sim.now
+            self._flow.syn_rtt = self._sim.now - self.created_at
         if self._obs_on:
             self._trace.record(
                 self._sim.now,
@@ -457,6 +479,8 @@ class TcpSocket:
         else:
             self._dupacks = 0
             self.cc.on_ack(self._sim.now, acked_bytes, self._rtt.srtt)
+            if self._flow_ss_pending:
+                self._note_ss_exit()
 
         self._manage_fin_acknowledgement(ack)
         self._rearm_or_cancel_rto()
@@ -478,12 +502,16 @@ class TcpSocket:
         self._recovery_inflation = DUPACK_THRESHOLD
         self.fast_retransmits += 1
         self._m_fast_rexmit.inc()
+        if self._flow_ss_pending:
+            self._note_ss_exit()
         if self._obs_on:
             self._trace.record(
                 self._sim.now,
                 EventType.FAST_RETRANSMIT,
                 self._host.name,
                 remote=str(self.remote_address),
+                port=self.local_port,
+                remote_port=self.remote_port,
                 cwnd=self.cc.cwnd_segments,
             )
         if self._config.sack:
@@ -928,6 +956,8 @@ class TcpSocket:
                 EventType.RTO_FIRED,
                 self._host.name,
                 remote=str(self.remote_address),
+                port=self.local_port,
+                remote_port=self.remote_port,
                 consecutive=self._consecutive_rtos,
             )
         self._rtt.back_off()
@@ -953,6 +983,8 @@ class TcpSocket:
         self._error("connection reset by peer")
 
     def _error(self, reason: str) -> None:
+        if self._flow is not None:
+            self._flow.error = reason
         callback = self.on_error
         self._teardown(notify=False)
         if callback is not None:
@@ -961,6 +993,12 @@ class TcpSocket:
     def _teardown(self, notify: bool) -> None:
         if self.established_at is not None:
             self._h_cwnd_at_close.observe(self.cc.cwnd_segments, t=self._sim.now)
+        if self._flow is not None:
+            self._flow.final_state = self.state.value
+            self._flow.closed_at = self._sim.now
+            self.sync_flow()
+            self._flow = None
+            self._flow_ss_pending = False
         self.state = TcpState.CLOSED
         self._cancel_rto()
         self._cancel_delack()
@@ -969,6 +1007,37 @@ class TcpSocket:
         self._host.socket_closed(self)
         if notify and self.on_closed is not None:
             self.on_closed(self)
+
+    # ------------------------------------------------------------------
+    # flow-record upkeep
+    # ------------------------------------------------------------------
+
+    def _note_ss_exit(self) -> None:
+        """Stamp the flow record the first time the socket leaves slow start."""
+        if self.cc.cwnd < self.cc.ssthresh:
+            return
+        flow = self._flow
+        if flow is not None:
+            flow.ss_exit_at = self._sim.now
+            flow.ss_exit_cwnd = self.cc.cwnd_segments
+        self._flow_ss_pending = False
+
+    def sync_flow(self) -> None:
+        """Copy the live counters into this socket's flow record.
+
+        Teardown calls this; :meth:`~repro.cdn.cluster.CdnCluster.sync_flows`
+        also calls it at end of run so flows still open report their
+        counters as of the run's last instant.
+        """
+        flow = self._flow
+        if flow is None:
+            return
+        flow.bytes_acked = self.bytes_acked
+        flow.bytes_received = self.bytes_received
+        flow.segments_sent = self.segments_sent
+        flow.segments_retransmitted = self.segments_retransmitted
+        flow.rtos = self.rtos_fired
+        flow.fast_retransmits = self.fast_retransmits
 
     def __repr__(self) -> str:
         ssthresh = self.cc.ssthresh

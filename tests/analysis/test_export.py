@@ -60,6 +60,71 @@ class TestCdfExport:
         assert path.read_text().startswith("a\n")
 
 
+class TestObsExports:
+    def test_trace_to_csv_flattens_details(self):
+        from repro.analysis.export import trace_to_csv
+        from repro.obs import EventType, TraceLog
+
+        log = TraceLog()
+        log.record(1.5, EventType.ROUTE_INSTALLED, "srv", window=40, ttl=600)
+        parsed = parse(trace_to_csv(log))
+        assert parsed[0] == ["time", "type", "source", "details"]
+        assert parsed[1] == ["1.5", "route_installed", "srv", "window=40 ttl=600"]
+
+    def test_trace_to_json_carries_drop_counters(self):
+        import json
+
+        from repro.analysis.export import trace_to_json
+        from repro.obs import EventType, TraceLog
+
+        log = TraceLog(capacity=1)
+        log.record(0.0, EventType.CONN_OPENED, "a")
+        log.record(1.0, EventType.CONN_OPENED, "a")
+        payload = json.loads(trace_to_json(log))
+        assert payload["recorded"] == 2
+        assert payload["retained"] == 1
+        assert payload["dropped"] == 1
+        assert len(payload["events"]) == 1
+
+    def test_flows_jsonl_and_json(self):
+        import json
+
+        from repro.analysis.export import flows_to_json, flows_to_jsonl
+        from repro.obs import FlowLog
+
+        log = FlowLog()
+        assert flows_to_jsonl(log) == ""
+        for index in range(2):
+            log.begin(
+                host="srv",
+                local="10.0.0.1",
+                local_port=8080,
+                remote="10.1.0.1",
+                remote_port=32768 + index,
+                opened_at=float(index),
+                is_client=False,
+                initial_cwnd=10,
+                cwnd_source="default",
+            )
+        lines = flows_to_jsonl(log).splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["flow_id"] == 0
+        payload = json.loads(flows_to_json(log))
+        assert payload["recorded"] == 2
+        assert payload["dropped"] == 0
+        assert [f["flow_id"] for f in payload["flows"]] == [0, 1]
+
+    def test_timeline_to_csv(self):
+        from repro.analysis.export import timeline_to_csv
+        from repro.obs import Timeline
+
+        timeline = Timeline()
+        timeline.record(2.0, "srv", "installed_routes", 3)
+        parsed = parse(timeline_to_csv(timeline))
+        assert parsed[0] == ["time", "source", "series", "value"]
+        assert parsed[1] == ["2", "srv", "installed_routes", "3"]
+
+
 class TestTransferTrace:
     def test_records_transfers(self):
         from repro.cdn.trace import TransferTrace

@@ -69,6 +69,20 @@ class TestHistogram:
         with pytest.raises(ValueError):
             histogram.percentile(101.0)
 
+    def test_lazy_sort_survives_interleaved_reads_and_writes(self):
+        # observe() only appends; the sort is deferred to the first
+        # ordered read and must re-trigger after further observes.
+        histogram = Histogram("h")
+        for value in (5.0, 1.0, 3.0):
+            histogram.observe(value)
+        assert histogram.min == 1.0
+        assert histogram.values() == [1.0, 3.0, 5.0]
+        histogram.observe(0.5)
+        histogram.observe(4.0)
+        assert histogram.min == 0.5
+        assert histogram.percentile(100.0) == 5.0
+        assert histogram.values() == [0.5, 1.0, 3.0, 4.0, 5.0]
+
     def test_observed_between_slices_by_sim_time(self):
         histogram = Histogram("h")
         histogram.observe(1.0, t=0.0)
@@ -77,6 +91,19 @@ class TestHistogram:
         histogram.observe(99.0)  # untimed: never in a window
         assert histogram.observed_between(0.0, 10.0) == [1.0, 2.0]
         assert histogram.observed_between(5.0, 11.0) == [2.0, 3.0]
+
+    def test_registry_merge_keeps_ordered_reads_correct(self):
+        from repro.obs import MetricsRegistry
+
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        mine.histogram("h").observe(5.0)
+        theirs.histogram("h").observe(1.0)
+        theirs.histogram("h").observe(3.0)
+        merged = mine.histogram("h")
+        assert merged.values() == [5.0]  # sorted read before the merge
+        mine.merge_from(theirs)
+        assert merged.values() == [1.0, 3.0, 5.0]
+        assert merged.sum == 9.0
 
 
 class TestRegistry:

@@ -1,0 +1,62 @@
+"""Unit tests for the time-series sampler store."""
+
+import pytest
+
+from repro.obs import Timeline
+
+
+class TestRecordAndQuery:
+    def test_points_keep_record_order(self):
+        timeline = Timeline()
+        timeline.record(0.0, "srv", "installed_routes", 2)
+        timeline.record(2.0, "srv", "installed_routes", 3)
+        values = [p.value for p in timeline.points(series="installed_routes")]
+        assert values == [2.0, 3.0]
+
+    def test_filters_by_series_and_source(self):
+        timeline = Timeline()
+        timeline.record(0.0, "a", "x", 1.0)
+        timeline.record(0.0, "b", "x", 2.0)
+        timeline.record(0.0, "a", "y", 3.0)
+        assert len(timeline.points(series="x")) == 2
+        assert len(timeline.points(source="a")) == 2
+        assert len(timeline.points(series="y", source="b")) == 0
+
+    def test_series_names_are_sorted_pairs(self):
+        timeline = Timeline()
+        timeline.record(0.0, "b", "x", 1.0)
+        timeline.record(0.0, "a", "y", 1.0)
+        assert timeline.series_names() == ["a:y", "b:x"]
+
+
+class TestCapacityAndMerge:
+    def test_drop_newest_counts_overflow(self):
+        timeline = Timeline(capacity=2)
+        for i in range(4):
+            timeline.record(float(i), "s", "x", i)
+        assert len(timeline) == 2
+        assert timeline.recorded == 4
+        assert timeline.dropped == 2
+        assert [p.time for p in timeline.points()] == [0.0, 1.0]
+
+    def test_merge_matches_serial_retention(self):
+        serial = Timeline(capacity=3)
+        for i in range(4):
+            serial.record(float(i), "s", "x", i)
+
+        first, second = Timeline(), Timeline()
+        first.record(0.0, "s", "x", 0)
+        first.record(1.0, "s", "x", 1)
+        second.record(2.0, "s", "x", 2)
+        second.record(3.0, "s", "x", 3)
+        target = Timeline(capacity=3)
+        target.merge_from(first)
+        target.merge_from(second)
+
+        assert target.points() == serial.points()
+        assert target.recorded == serial.recorded
+        assert target.dropped == serial.dropped
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Timeline(capacity=0)

@@ -50,6 +50,14 @@ class TestRingAndTotals:
         assert log.count(EventType.CONN_OPENED) == 5
         assert log.totals() == {EventType.CONN_OPENED: 5}
 
+    def test_recorded_and_dropped_counters(self):
+        log = TraceLog(capacity=3)
+        assert log.recorded == 0 and log.dropped == 0
+        for i in range(5):
+            log.record(float(i), EventType.CONN_OPENED, "a")
+        assert log.recorded == 5
+        assert log.dropped == 2
+
     def test_count_of_unseen_type_is_zero(self):
         assert TraceLog().count(EventType.RTO_FIRED) == 0
 

@@ -117,6 +117,44 @@ class TestPairedProbeStudy:
         assert parallel_obs.trace.totals() == serial_obs.trace.totals()
 
 
+class TestObservabilityDeterminism:
+    """The flow/span/timeline stores and the attribution report must be
+    byte-identical between a serial run and a merged parallel run —
+    this is what makes ``repro flows``/``repro report --workers N``
+    trustworthy."""
+
+    @needs_fork
+    def test_merged_stores_and_report_bit_identical(self):
+        from repro.analysis.export import (
+            flows_to_json,
+            spans_to_chrome_json,
+            timeline_to_csv,
+        )
+        from repro.experiments.chaos import ChaosStudyConfig, run_chaos_study
+        from repro.obs.report import build_report, report_to_json
+
+        config = ChaosStudyConfig(warmup=5.0, duration=20.0)
+        with capture() as serial_obs:
+            run_chaos_study(config)
+        with capture() as parallel_obs:
+            run_chaos_study(config, workers=2)
+
+        assert flows_to_json(parallel_obs.flows) == flows_to_json(serial_obs.flows)
+        assert spans_to_chrome_json(parallel_obs.spans) == spans_to_chrome_json(
+            serial_obs.spans
+        )
+        assert timeline_to_csv(parallel_obs.timeline) == timeline_to_csv(
+            serial_obs.timeline
+        )
+        serial_report = report_to_json(
+            build_report(serial_obs, experiment="chaos_lossy_agent")
+        )
+        parallel_report = report_to_json(
+            build_report(parallel_obs, experiment="chaos_lossy_agent")
+        )
+        assert parallel_report == serial_report
+
+
 class TestChaosStudy:
     @needs_fork
     def test_fault_injected_arms_bit_identical_to_serial(self):

@@ -131,6 +131,32 @@ class TestMetrics:
         assert lines[0] == "kind,metric,labels,field,value"
         assert any("tcp_connections_opened" in line for line in lines[1:])
 
+    def test_metrics_trace_csv_written(self, capsys, tiny_experiment, tmp_path):
+        target = tmp_path / "trace.csv"
+        assert main(["metrics", "tiny", "--trace-csv", str(target)]) == 0
+        lines = target.read_text().splitlines()
+        assert lines[0] == "time,type,source,details"
+        assert any("conn_opened" in line for line in lines[1:])
+
+    def test_metrics_warns_on_trace_truncation(self, capsys, monkeypatch):
+        from repro.obs import EventType
+
+        def noisy():
+            from repro.obs import active_instrumentation
+
+            trace = active_instrumentation().trace
+            for i in range(trace.capacity + 5):
+                trace.record(float(i), EventType.CONN_OPENED, "x")
+
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "noisy",
+            Experiment("noisy", "test-only trace flood", noisy, False),
+        )
+        assert main(["metrics", "noisy"]) == 0
+        err = capsys.readouterr().err
+        assert "warning: trace ring dropped 5" in err
+
     def test_metrics_model_experiment_has_no_instruments(self, capsys):
         assert main(["metrics", "table2"]) == 0
         out = capsys.readouterr().out
@@ -144,6 +170,77 @@ class TestMetrics:
         assert _normalize_experiment_id("fig10_cmax_sweep") == "fig10"
         assert _normalize_experiment_id("fig10") == "fig10"
         assert _normalize_experiment_id("nope") == "nope"
+
+
+class TestFlowsVerb:
+    def test_flows_summary_of_a_simulation_run(self, capsys, tiny_experiment):
+        assert main(["flows", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "flow records: tiny" in out
+        # One transfer = two records, one per socket side.
+        assert "recorded: 2" in out
+        assert "initial cwnd source: default=2" in out
+
+    def test_flows_json_lists_every_record(self, capsys, tiny_experiment):
+        assert main(["flows", "tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["recorded"] == 2
+        sides = {flow["is_client"] for flow in payload["flows"]}
+        assert sides == {True, False}
+        for flow in payload["flows"]:
+            assert flow["established_at"] is not None
+            assert flow["syn_rtt"] > 0
+
+    def test_flows_jsonl_written(self, capsys, tiny_experiment, tmp_path):
+        target = tmp_path / "flows.jsonl"
+        assert main(["flows", "tiny", "--jsonl", str(target)]) == 0
+        lines = target.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["flow_id"] == 0
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["flows", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestReportVerb:
+    def test_report_renders_the_cause_taxonomy(self, capsys, tiny_experiment):
+        assert main(["report", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Tail-latency attribution: tiny" in out
+        assert "genuinely_fast_path" in out
+        assert "flows: 2 recorded" in out
+
+    def test_report_json_and_artifacts(self, capsys, tiny_experiment, tmp_path):
+        out_path = tmp_path / "report.json"
+        spans_path = tmp_path / "spans.json"
+        timeline_path = tmp_path / "timeline.csv"
+        assert (
+            main(
+                [
+                    "report",
+                    "tiny",
+                    "--json",
+                    "--out",
+                    str(out_path),
+                    "--spans",
+                    str(spans_path),
+                    "--timeline-csv",
+                    str(timeline_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "tiny"
+        assert json.loads(out_path.read_text()) == payload
+        chrome = json.loads(spans_path.read_text())
+        assert "traceEvents" in chrome
+        assert timeline_path.read_text().startswith("time,source,series,value")
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["report", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
 
 class TestFaultsVerb:
