@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast examples clean
+.PHONY: install test lint typecheck bench bench-fast examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,15 @@ test:
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# Generic style (ruff) plus the codebase-specific determinism /
+# observability rules (`repro lint`, see docs/ARCHITECTURE.md).
+lint:
+	ruff check src/
+	PYTHONPATH=src $(PYTHON) -m repro lint src/ --baseline lint-baseline.json
+
+typecheck:
+	$(PYTHON) -m mypy
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -1,5 +1,18 @@
 """``python -m repro`` entry point."""
 
+import os
+import sys
+
 from repro.cli import main
 
-raise SystemExit(main())
+try:
+    code = main()
+except BrokenPipeError:
+    # Downstream closed the pipe (`repro lint src/ | head`): exit
+    # quietly like standard unix tools instead of tracebacking.  Stdout
+    # is redirected to devnull so the interpreter's shutdown flush
+    # doesn't hit the dead pipe and traceback anyway.
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+    code = 1
+raise SystemExit(code)

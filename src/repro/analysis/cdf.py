@@ -7,7 +7,7 @@ representation the experiment harnesses share.
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 
 class EmpiricalCdf:

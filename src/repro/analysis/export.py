@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.analysis.cdf import EmpiricalCdf
 from repro.obs.flow import FlowLog

@@ -1,0 +1,48 @@
+"""``repro.analysis.lint`` — determinism & sim-invariant static analysis.
+
+An AST-based analyzer with codebase-specific rules, run as
+``python -m repro lint [paths]``:
+
+========  ==============================================================
+DET001    wall-clock / global-RNG reads in simulation code
+DET002    set/dict iteration feeding order-sensitive sinks
+DET003    ordering by object identity (``id()`` keys, ``is`` tie-breaks)
+SIM001    kernel-private field pokes and ``time.sleep`` in sim code
+SLOT001   ``self`` attributes missing from a class's ``__slots__``
+OBS001    metric/trace/span taxonomy drift against ARCHITECTURE.md
+========  ==============================================================
+
+See the "Static analysis" section of ``docs/ARCHITECTURE.md`` for a
+motivating example per rule, and :mod:`repro.analysis.lint.engine` for
+the suppression layers (inline ``# lint: ignore[CODE]`` comments and
+the JSON baseline).
+"""
+
+from repro.analysis.lint.base import FileContext, Finding, ProjectContext, Rule
+from repro.analysis.lint.engine import (
+    ALL_RULES,
+    LINT_SCHEMA_VERSION,
+    RULE_CODES,
+    LintResult,
+    LintUsageError,
+    collect_files,
+    load_baseline,
+    run_lint,
+    select_rules,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "LINT_SCHEMA_VERSION",
+    "LintResult",
+    "LintUsageError",
+    "ProjectContext",
+    "RULE_CODES",
+    "Rule",
+    "collect_files",
+    "load_baseline",
+    "run_lint",
+    "select_rules",
+]

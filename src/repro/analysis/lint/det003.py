@@ -1,0 +1,104 @@
+"""DET003 — ordering by object identity.
+
+``id(x)`` is an address: it differs between processes and between runs,
+so any ordering derived from it (sort keys, ``min``/``max`` keys,
+``id(a) < id(b)`` comparisons) is nondeterministic even under a fixed
+seed.  ``is``-based tie-breaks inside key functions are the same hazard
+wearing a different syntax — identity tests are fine as *predicates*,
+but must never decide *order*.  Deterministic orderings come from stable
+fields: sequence numbers, names, addresses (the event queue's
+``(time, seq)`` pair is the house pattern).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.base import FileContext, Finding, Rule
+
+_ORDERING_CALLS = frozenset({"sorted", "min", "max"})
+_ORDER_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _contains(node: ast.AST, predicate) -> ast.AST | None:
+    for child in ast.walk(node):
+        if predicate(child):
+            return child
+    return None
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+        and len(node.args) == 1
+    )
+
+
+def _is_identity_compare(node: ast.AST) -> bool:
+    return isinstance(node, ast.Compare) and any(
+        isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+    )
+
+
+class Det003IdentityOrdering(Rule):
+    code = "DET003"
+    summary = "ordering derived from object identity (id()/is) is nondeterministic"
+    exempt_modules = ("repro.analysis.lint",)
+
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        visitor = _Visitor(ctx)
+        visitor.visit(ctx.tree)
+        return visitor.findings
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_ordering_call(node):
+            key = next(
+                (kw.value for kw in node.keywords if kw.arg == "key"), None
+            )
+            if key is not None:
+                if isinstance(key, ast.Name) and key.id == "id":
+                    self._report(key, "id used as a sort/min/max key")
+                hit = _contains(key, _is_id_call)
+                if hit is not None:
+                    self._report(hit, "id() used inside a sort/min/max key")
+                hit = _contains(key, _is_identity_compare)
+                if hit is not None:
+                    self._report(
+                        hit, "`is` tie-break inside a sort/min/max key"
+                    )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, _ORDER_OPS) for op in node.ops):
+            for operand in [node.left, *node.comparators]:
+                if _is_id_call(operand):
+                    self._report(
+                        operand, "ordered comparison of id() values"
+                    )
+                    break
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_ordering_call(node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _ORDERING_CALLS:
+            return True
+        return isinstance(func, ast.Attribute) and func.attr == "sort"
+
+    def _report(self, node: ast.AST, what: str) -> None:
+        self.findings.append(
+            self.ctx.finding(
+                "DET003",
+                node,
+                f"{what}; order by a stable field (seq, name, address) "
+                "instead of object identity",
+            )
+        )

@@ -1,0 +1,142 @@
+"""SIM001 — kernel invariants: no clock/queue poking, no real sleeps.
+
+The :class:`~repro.sim.kernel.Simulator` owns the clock and the event
+queue; every other component interacts with time exclusively through
+``schedule``/``schedule_at``/``cancel``.  Two violations break that
+contract:
+
+* assigning a kernel-private field (``sim._now = ...``, ``sim._queue =
+  ...``) from outside ``repro/sim/kernel.py`` — the clock silently
+  diverges from the queue and events fire "in the past".  Assignments
+  through ``self`` are exempt: a class managing its *own* ``_running``
+  flag is not touching the kernel's;
+* calling ``time.sleep`` anywhere in simulation code — an event
+  callback that blocks the process stalls every simulated component at
+  once and couples results to host scheduling.
+
+``repro.parallel`` may block on real time (it coordinates worker
+processes, not simulated ones) and is exempt from the sleep check via
+the shared exemption list.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.base import FileContext, Finding, Rule
+
+#: Fields of ``Simulator`` that only the kernel itself may assign.
+KERNEL_PRIVATE_FIELDS = frozenset({
+    "_now", "_queue", "_seq", "_running", "_events_processed",
+})
+
+#: The one module allowed to assign those fields.
+_KERNEL_MODULE = "repro.sim.kernel"
+
+
+class Sim001KernelInvariants(Rule):
+    code = "SIM001"
+    summary = (
+        "kernel-private field assigned outside the kernel, or "
+        "time.sleep in simulation code"
+    )
+    exempt_modules = (
+        "repro.cli",
+        "repro.bench",
+        "repro.parallel",
+        "repro.analysis",
+        "repro.testing",
+    )
+
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        visitor = _Visitor(ctx, in_kernel=ctx.module == _KERNEL_MODULE)
+        visitor.visit(ctx.tree)
+        return visitor.findings
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext, in_kernel: bool) -> None:
+        self.ctx = ctx
+        self.in_kernel = in_kernel
+        self.findings: list[Finding] = []
+        self._time_aliases: set[str] = set()
+        self._bare_sleeps: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self._time_aliases.add(alias.asname or "time")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name == "sleep":
+                    self._bare_sleeps.add(alias.asname or "sleep")
+        self.generic_visit(node)
+
+    # -- kernel-private assignment ---------------------------------------
+
+    def _check_store_target(self, target: ast.expr) -> None:
+        if self.in_kernel:
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store_target(element)
+            return
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in KERNEL_PRIVATE_FIELDS
+            and not (
+                # ``self._running = ...`` is a class managing its *own*
+                # field of the same name (workload generators have one);
+                # the hazard is poking a field on a *held* simulator.
+                isinstance(target.value, ast.Name)
+                and target.value.id in ("self", "cls")
+            )
+        ):
+            self.findings.append(
+                self.ctx.finding(
+                    "SIM001",
+                    target,
+                    f"assignment to kernel-private field `{target.attr}` "
+                    "outside repro/sim/kernel.py; go through "
+                    "schedule()/cancel()/run() instead",
+                )
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    # -- real sleeps ------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        sleeping = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._time_aliases
+        ) or (
+            isinstance(func, ast.Name) and func.id in self._bare_sleeps
+        )
+        if sleeping:
+            self.findings.append(
+                self.ctx.finding(
+                    "SIM001",
+                    node,
+                    "time.sleep() in simulation code blocks the whole "
+                    "process; schedule a sim event instead",
+                )
+            )
+        self.generic_visit(node)

@@ -10,7 +10,7 @@ one says any difference is noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from scipy import stats
 

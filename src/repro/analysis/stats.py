@@ -9,7 +9,7 @@ percentile of their respective completion-time distributions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.analysis.cdf import EmpiricalCdf
 

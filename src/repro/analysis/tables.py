@@ -6,7 +6,7 @@ and tables report; these helpers keep that output aligned and readable.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.analysis.cdf import EmpiricalCdf
 

@@ -174,7 +174,7 @@ class CdnCluster:
         try:
             return self._pops[code]
         except KeyError:
-            raise KeyError(f"no PoP {code!r} in this cluster")
+            raise KeyError(f"no PoP {code!r} in this cluster") from None
 
     # ------------------------------------------------------------------
     # Riptide control

@@ -11,7 +11,7 @@ per ``interval`` seconds) without affecting per-transfer timings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.cdn.pop import PoP
 from repro.cdn.transfer import (
@@ -261,7 +261,7 @@ class ProbeFleet:
             else:
                 self._m_failed.inc()
             if span is not None:
-                closing: dict = {
+                closing: dict[str, object] = {
                     "completed": result.completed,
                     "new_connection": result.new_connection,
                     "initial_cwnd": result.initial_cwnd,

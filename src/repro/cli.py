@@ -13,6 +13,7 @@
     python -m repro flows fig12_14       # run + print per-connection flow records
     python -m repro report chaos_lossy_agent  # tail-latency attribution report
     python -m repro bench                # perf baseline -> BENCH_002.json
+    python -m repro lint src/            # determinism/sim-invariant analyzer
 
 ``run`` prints the same rows/series the corresponding paper figure or
 table reports.  ``metrics`` runs the experiment under an instrumentation
@@ -30,6 +31,7 @@ deterministically, so their output is byte-identical to a serial run.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -123,6 +125,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="one short round of each section (CI smoke)",
+    )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the determinism/sim-invariant static analyzer",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/)",
+    )
+    lint_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as JSON instead of text",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="JSON baseline of fingerprints to suppress (stale entries fail)",
+    )
+    lint_parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (e.g. DET001,SLOT001)",
+    )
+    lint_parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to skip",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the rule codes and what they check, then exit",
     )
 
     faults_parser = subparsers.add_parser(
@@ -280,7 +321,7 @@ def _normalize_experiment_id(experiment_id: str) -> str:
     return experiment_id  # let get_experiment raise its usual error
 
 
-def _fast_kwargs(experiment_id: str) -> dict:
+def _fast_kwargs(experiment_id: str) -> dict[str, object]:
     """Reduced-scale overrides for one experiment (``--fast``)."""
     if experiment_id in _FAST_STUDY_IDS:
         from repro.experiments.scenarios import ProbeStudyConfig
@@ -342,6 +383,47 @@ def _cmd_run_faults(scenario_name: str, fast: bool, workers: int) -> int:
     print(result.report())
     print(f"\n[{scenario.name} completed in {elapsed:.1f}s]")
     return 0
+
+
+def _cmd_lint(
+    paths: list[str],
+    as_json: bool,
+    baseline: str | None,
+    select: str | None,
+    ignore: str | None,
+    list_rules: bool,
+) -> int:
+    from repro.analysis.lint import ALL_RULES, LintUsageError, run_lint
+
+    if list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    if not paths:
+        if not os.path.isdir("src"):
+            print(
+                "error: no paths given and no src/ directory here",
+                file=sys.stderr,
+            )
+            return 2
+        paths = ["src"]
+    def split(value: str | None) -> list[str] | None:
+        if not value:
+            return None
+        return [code.strip() for code in value.split(",") if code.strip()]
+
+    try:
+        result = run_lint(
+            paths,
+            select=split(select),
+            ignore=split(ignore),
+            baseline_path=baseline,
+        )
+    except LintUsageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.to_json() if as_json else result.render_text())
+    return 0 if result.clean else 1
 
 
 def _cmd_faults(duration: float) -> int:
@@ -576,6 +658,15 @@ def main(argv: list[str] | None = None) -> int:
         except KeyError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    if args.command == "lint":
+        return _cmd_lint(
+            args.paths,
+            args.json,
+            args.baseline,
+            args.select,
+            args.ignore,
+            args.list_rules,
+        )
     if args.command == "faults":
         return _cmd_faults(args.duration)
     if args.command == "bench":

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, MutableSequence
+from collections.abc import Callable, MutableSequence
+from typing import TYPE_CHECKING
 
 from repro.core.advisory import Advisory, AdvisoryController
 from repro.core.combiners import Observation, make_combiner
@@ -345,7 +346,11 @@ class RiptideAgent:
         routes_touched_before = self.stats.routes_installed
         grouped, health = self._observe_and_group()
         observed = sum(len(observations) for observations in grouped.values())
-        for destination, observations in grouped.items():
+        # Deterministic despite the dict view: ``grouped`` preserves the
+        # ss-snapshot row order, which is itself a pure function of the
+        # run.  Sorting here would reorder installs/trace emission and
+        # change pinned outputs for no correctness gain.
+        for destination, observations in grouped.items():  # lint: ignore[DET002]
             if self._guard is not None:
                 reason = self._guard.observe(destination, health[destination], now)
                 if reason is not None:

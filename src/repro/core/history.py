@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Hashable
+from collections.abc import Hashable
 
 
 class HistoryPolicy(ABC):

@@ -13,7 +13,7 @@ initial window *faster* than the EWMA alone would.
 
 from __future__ import annotations
 
-from typing import Hashable
+from collections.abc import Hashable
 
 
 class TrendDetector:

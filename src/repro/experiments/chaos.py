@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from statistics import median
-from typing import Union
+
 
 from repro.cdn.cluster import CdnCluster, ClusterConfig
 from repro.cdn.probes import ProbeFleet, ProbeResultSet
@@ -108,7 +108,7 @@ class ChaosArmSummary:
     events_processed: int
 
 
-ChaosArm = Union[ChaosArmRun, ChaosArmSummary]
+ChaosArm = ChaosArmRun | ChaosArmSummary
 
 
 def _arm_counters(arm: ChaosArm) -> "ChaosArmSummary":

@@ -136,6 +136,6 @@ def run(
         results = [make_task(c_max)() for c_max in arms]
     cdfs: dict[int, EmpiricalCdf] = {
         (CONTROL if c_max is None else c_max): cdf
-        for c_max, cdf in zip(arms, results)
+        for c_max, cdf in zip(arms, results, strict=True)
     }
     return Fig10Result(cdfs=cdfs)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 
 @dataclass(frozen=True)
@@ -48,7 +48,7 @@ class SeedSweepResult:
 
     def report(self) -> str:
         per_seed = ", ".join(
-            f"seed {s}: {v:.4g}" for s, v in zip(self.seeds, self.values)
+            f"seed {s}: {v:.4g}" for s, v in zip(self.seeds, self.values, strict=True)
         )
         return (
             f"{self.metric_name}: mean={self.mean:.4g} stdev={self.stdev:.4g} "

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.experiments import (
     chaos,
@@ -152,7 +152,7 @@ def get_experiment(experiment_id: str) -> Experiment:
         return EXPERIMENTS[experiment_id]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
-        raise KeyError(f"unknown experiment {experiment_id!r} (known: {known})")
+        raise KeyError(f"unknown experiment {experiment_id!r} (known: {known})") from None
 
 
 def list_experiments() -> list[Experiment]:

@@ -11,7 +11,7 @@ the number of samples shrinks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Union
+
 
 from repro.cdn.cluster import CdnCluster, ClusterConfig
 from repro.cdn.probes import ProbeFleet, ProbeResultSet
@@ -134,7 +134,7 @@ class ProbeArmSummary:
 #: What the figure harnesses actually consume: a live arm (serial path)
 #: or a detached summary (parallel path) — both expose ``fleet``
 #: accessors and ``riptide_enabled``.
-ProbeStudyArm = Union[ProbeStudyRun, ProbeArmSummary]
+ProbeStudyArm = ProbeStudyRun | ProbeArmSummary
 
 
 def run_probe_arm(config: ProbeStudyConfig, riptide_enabled: bool) -> ProbeStudyRun:

@@ -16,7 +16,8 @@ in force.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.core.agent import RiptideAgent
 from repro.faults.spec import (
@@ -123,7 +124,7 @@ class FaultInjector:
             **detail,
         )
         if self._obs_on:
-            extras: dict = {"kind": spec.kind}
+            extras: dict[str, object] = {"kind": spec.kind}
             pop = getattr(spec, "pop", None)
             if pop is not None:
                 extras["pop"] = pop
@@ -249,19 +250,19 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _link_down(trunks: list[DuplexLink]) -> dict:
+    def _link_down(trunks: list[DuplexLink]) -> dict[str, object]:
         for trunk in trunks:
             trunk.set_down()
         return {"links": [trunk.name for trunk in trunks]}
 
     @staticmethod
-    def _link_up(trunks: list[DuplexLink]) -> dict:
+    def _link_up(trunks: list[DuplexLink]) -> dict[str, object]:
         for trunk in trunks:
             trunk.set_up()
         return {"links": [trunk.name for trunk in trunks]}
 
     @staticmethod
-    def _degrade(trunks: list[DuplexLink], spec: LinkDegrade) -> dict:
+    def _degrade(trunks: list[DuplexLink], spec: LinkDegrade) -> dict[str, object]:
         for trunk in trunks:
             trunk.degrade(spec.bandwidth_scale, spec.extra_delay)
         return {
@@ -271,13 +272,13 @@ class FaultInjector:
         }
 
     @staticmethod
-    def _restore(trunks: list[DuplexLink]) -> dict:
+    def _restore(trunks: list[DuplexLink]) -> dict[str, object]:
         for trunk in trunks:
             trunk.restore()
         return {"links": [trunk.name for trunk in trunks]}
 
     @staticmethod
-    def _loss_override(trunks: list[DuplexLink], model: LossModel | None) -> dict:
+    def _loss_override(trunks: list[DuplexLink], model: LossModel | None) -> dict[str, object]:
         for trunk in trunks:
             trunk.set_loss_override(model)
         return {
@@ -286,31 +287,31 @@ class FaultInjector:
         }
 
     @staticmethod
-    def _ss_fault(agents: list[RiptideAgent], mode: str) -> dict:
+    def _ss_fault(agents: list[RiptideAgent], mode: str) -> dict[str, object]:
         for agent in agents:
             agent.host.ss.set_fault(mode)
         return {"hosts": [agent.host.name for agent in agents], "mode": mode}
 
     @staticmethod
-    def _ss_clear(agents: list[RiptideAgent]) -> dict:
+    def _ss_clear(agents: list[RiptideAgent]) -> dict[str, object]:
         for agent in agents:
             agent.host.ss.clear_fault()
         return {"hosts": [agent.host.name for agent in agents]}
 
     @staticmethod
-    def _ip_fault(agents: list[RiptideAgent]) -> dict:
+    def _ip_fault(agents: list[RiptideAgent]) -> dict[str, object]:
         for agent in agents:
             agent.host.ip.set_fault()
         return {"hosts": [agent.host.name for agent in agents]}
 
     @staticmethod
-    def _ip_clear(agents: list[RiptideAgent]) -> dict:
+    def _ip_clear(agents: list[RiptideAgent]) -> dict[str, object]:
         for agent in agents:
             agent.host.ip.clear_fault()
         return {"hosts": [agent.host.name for agent in agents]}
 
     @staticmethod
-    def _crash(agents: list[RiptideAgent], crashed: list[RiptideAgent]) -> dict:
+    def _crash(agents: list[RiptideAgent], crashed: list[RiptideAgent]) -> dict[str, object]:
         # Only running agents crash (and only they restart later): on a
         # control arm no agent ever started, so the spec is a no-op there
         # rather than a restart that would *start* Riptide.
@@ -320,7 +321,7 @@ class FaultInjector:
                 crashed.append(agent)
         return {"hosts": [agent.host.name for agent in crashed]}
 
-    def _restart(self, crashed: list[RiptideAgent]) -> dict:
+    def _restart(self, crashed: list[RiptideAgent]) -> dict[str, object]:
         now = self.cluster.sim.now
         for agent in crashed:
             agent.start()
@@ -332,7 +333,7 @@ class FaultInjector:
     @staticmethod
     def _set_jitter(
         agents: list[RiptideAgent], jitter: Callable[[], float] | None
-    ) -> dict:
+    ) -> dict[str, object]:
         for agent in agents:
             agent.set_poll_jitter(jitter)
         return {"hosts": [agent.host.name for agent in agents]}

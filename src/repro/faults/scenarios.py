@@ -13,7 +13,7 @@ than amplifying the damage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.faults.spec import (
     AgentCrash,
@@ -211,4 +211,4 @@ def get_scenario(name: str) -> ChaosScenario:
         raise KeyError(
             f"unknown chaos scenario {name!r}; available: "
             f"{', '.join(scenario_names())}"
-        )
+        ) from None

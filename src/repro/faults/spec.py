@@ -11,7 +11,8 @@ any arm of a paired experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import ClassVar, Iterator
+from collections.abc import Iterator
+from typing import ClassVar
 
 from repro.linux.ss_tool import SS_FAULT_MODES
 

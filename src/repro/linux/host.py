@@ -17,7 +17,7 @@ at establishment time, exactly as the Linux kernel does.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 #: Signature of an in-kernel initial-window hook (see Host.initcwnd_hook).
 InitcwndHook = Callable[["IPv4Address"], "int | None"]

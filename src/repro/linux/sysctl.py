@@ -55,7 +55,7 @@ class Sysctl:
             return _NAME_TO_FIELD[name]
         except KeyError:
             known = ", ".join(sorted(_NAME_TO_FIELD))
-            raise KeyError(f"unknown sysctl {name!r} (known: {known})")
+            raise KeyError(f"unknown sysctl {name!r} (known: {known})") from None
 
     def __repr__(self) -> str:
         return f"<Sysctl {self._config}>"

@@ -8,6 +8,7 @@ mask arithmetic, mirroring how the kernel FIB behaves when Riptide installs
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from functools import total_ordering
 
 from repro.net.errors import AddressError
@@ -135,7 +136,7 @@ class Prefix:
         """True when ``other`` is fully inside this prefix."""
         return other._length >= self._length and self.contains(other._network)
 
-    def addresses(self):
+    def addresses(self) -> Iterator[IPv4Address]:
         """Iterate every address in the prefix (small prefixes only)."""
         base = self._network.value
         for offset in range(self.num_addresses):

@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Packet

@@ -69,7 +69,7 @@ class FlowRecord:
     segments_sent: int = 0
     segments_retransmitted: int = 0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """Stable-ordered plain dict (the JSONL/JSON export shape)."""
         return {
             "flow_id": self.flow_id,

@@ -29,7 +29,7 @@ Two additions serve the performance and parallelism work:
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.obs.flow import FlowLog
 from repro.obs.metrics import MetricsRegistry

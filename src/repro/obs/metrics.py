@@ -17,7 +17,7 @@ simulation's performance profile.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 #: Canonical form of a label set: sorted ``(key, value)`` pairs.
 LabelSet = tuple[tuple[str, str], ...]

@@ -36,11 +36,13 @@ between a serial run and a merged parallel run of the same experiment.
 from __future__ import annotations
 
 import json
+from typing import Any
 
 from repro.net.addresses import AddressError, Prefix
+from repro.obs.flow import FlowRecord
 from repro.obs.instrument import Instrumentation
 from repro.obs.span import Span
-from repro.obs.trace import EventType
+from repro.obs.trace import EventType, TraceEvent
 
 #: The attribution taxonomy, in assignment priority order.
 ATTRIBUTION_CAUSES = (
@@ -84,7 +86,7 @@ def _overlaps(span: Span, begin: float, end: float) -> bool:
 
 def build_report(
     instrumentation: Instrumentation, experiment: str = ""
-) -> dict:
+) -> dict[str, Any]:
     """Join probe spans, flow records and traces into the attribution report."""
     spans = instrumentation.spans
     flows = instrumentation.flows
@@ -111,7 +113,7 @@ def build_report(
     # the join key a probe span carries; arm membership disambiguates the
     # control and Riptide clusters of a paired study, which share the
     # same address plan and ephemeral-port sequences.
-    flow_index: dict[tuple[str, str, object], list] = {}
+    flow_index: dict[tuple[str, str, object], list[FlowRecord]] = {}
     for record in flows.records(is_client=False):
         key = (record.local, record.remote, record.remote_port)
         flow_index.setdefault(key, []).append(record)
@@ -124,7 +126,7 @@ def build_report(
     ]
 
     arms = sorted({str(span.detail("arm", "")) for span in completed})
-    arm_stats: dict[str, dict] = {}
+    arm_stats: dict[str, dict[str, float]] = {}
     slow_by_arm: dict[str, list[Span]] = {}
     for arm in arms:
         durations = sorted(
@@ -144,7 +146,7 @@ def build_report(
         slow_by_arm[arm] = slow
 
     cause_counts = {cause: 0 for cause in ATTRIBUTION_CAUSES}
-    slow_probes: list[dict] = []
+    slow_probes: list[dict[str, Any]] = []
     for arm in arms:
         for span in slow_by_arm[arm]:
             entry = _attribute(
@@ -201,11 +203,11 @@ def build_report(
 def _attribute(
     span: Span,
     arm: str,
-    flow_index: dict,
+    flow_index: dict[tuple[str, str, object], list[FlowRecord]],
     guard_spans: list[Span],
     fault_spans: list[Span],
-    loss_events: list,
-) -> dict:
+    loss_events: list[TraceEvent],
+) -> dict[str, Any]:
     begin, end = span.begin, span.end
     client = str(span.detail("client", ""))
     dest = str(span.detail("dest", ""))
@@ -219,7 +221,7 @@ def _attribute(
             server_flow = record
 
     cause = "genuinely_fast_path"
-    evidence: dict = {}
+    evidence: dict[str, Any] = {}
 
     guard = _covering_guard(guard_spans, arm, dst_pop, client, begin, end)
     if guard is not None:
@@ -321,10 +323,10 @@ def _covering_storm(
 
 
 def _loss_episodes(
-    loss_events: list,
+    loss_events: list[TraceEvent],
     span: Span,
-    server_flow,
-    client_port,
+    server_flow: FlowRecord | None,
+    client_port: object,
     dest: str,
     begin: float,
     end: float,
@@ -355,7 +357,7 @@ def _loss_episodes(
     return rtos, rexmits
 
 
-def render_report(report: dict) -> str:
+def render_report(report: dict[str, Any]) -> str:
     """Human-readable rendering of :func:`build_report` output."""
     lines: list[str] = []
     title = report.get("experiment") or "run"
@@ -406,6 +408,6 @@ def render_report(report: dict) -> str:
     return "\n".join(lines)
 
 
-def report_to_json(report: dict) -> str:
+def report_to_json(report: dict[str, Any]) -> str:
     """The report as deterministic, indented JSON."""
     return json.dumps(report, indent=2)

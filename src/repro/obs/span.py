@@ -142,7 +142,7 @@ class SpanLog:
             selected.append(span)
         return selected
 
-    def to_chrome_trace(self) -> list[dict]:
+    def to_chrome_trace(self) -> list[dict[str, object]]:
         """Spans as Chrome trace-event objects (``ts``/``dur`` in µs).
 
         Completed spans become phase ``"X"`` events; spans still open
@@ -155,9 +155,9 @@ class SpanLog:
                 sorted({span.source for span in self._spans}), start=1
             )
         }
-        events: list[dict] = []
+        events: list[dict[str, object]] = []
         for span in self._spans:
-            args: dict = {"span_id": span.span_id}
+            args: dict[str, object] = {"span_id": span.span_id}
             if span.parent_id is not None:
                 args["parent_id"] = span.parent_id
             args.update({key: value for key, value in span.details})

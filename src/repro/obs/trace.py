@@ -65,8 +65,8 @@ class TraceLog:
     """Bounded ring of :class:`TraceEvent` with untruncated type totals."""
 
     capacity: int = 10_000
-    _events: deque = field(default_factory=deque, repr=False)
-    _totals: TallyCounter = field(default_factory=TallyCounter, repr=False)
+    _events: deque[TraceEvent] = field(default_factory=deque, repr=False)
+    _totals: TallyCounter[EventType] = field(default_factory=TallyCounter, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity < 1:

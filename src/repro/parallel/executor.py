@@ -23,7 +23,8 @@ import os
 import pickle
 import queue as queue_mod
 import traceback
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.obs.instrument import Instrumentation, active_instrumentation, capture
 

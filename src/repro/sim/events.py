@@ -9,7 +9,8 @@ deterministic regardless of heap internals.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 
 class Event:

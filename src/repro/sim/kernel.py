@@ -9,7 +9,8 @@ seed and parameters.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.obs.instrument import Instrumentation, instrumentation_for_new_simulator
 from repro.sim.errors import SchedulingError

@@ -7,7 +7,7 @@ a tick callback re-scheduled at a fixed interval until stopped.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.sim.errors import SchedulingError
 from repro.sim.events import Event

@@ -30,11 +30,11 @@ def make_congestion_control(
         cls = _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
-        raise ValueError(f"unknown congestion control {name!r} (known: {known})")
+        raise ValueError(f"unknown congestion control {name!r} (known: {known})") from None
     return cls(initial_cwnd=initial_cwnd, mss=mss)
 
 
-def register_congestion_control(name: str, cls: type) -> None:
+def register_congestion_control(name: str, cls: type[CongestionControl]) -> None:
     """Register a custom congestion control implementation."""
     if not issubclass(cls, CongestionControl):
         raise TypeError(f"{cls!r} is not a CongestionControl subclass")

@@ -9,7 +9,8 @@ served from this listener start at that learned window.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.net.addresses import IPv4Address
 from repro.tcp.errors import TcpError

@@ -24,7 +24,8 @@ import enum
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable
+from collections.abc import Callable
+from typing import Any, TYPE_CHECKING
 
 from repro.net.addresses import IPv4Address
 from repro.net.packet import Packet

@@ -1,0 +1,208 @@
+"""Engine-level tests for ``repro lint``: CLI, JSON schema, baselines.
+
+The self-check at the bottom is the PR's acceptance gate: the shipped
+tree must lint clean, so the analyzer stays a required CI job rather
+than a dashboard of known failures.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    LINT_SCHEMA_VERSION,
+    RULE_CODES,
+    LintUsageError,
+    run_lint,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+HAZARD = "import time\n\ndef tick():\n    return time.time()\n"
+
+
+@pytest.fixture
+def hazard_file(tmp_path):
+    path = tmp_path / "hazard.py"
+    path.write_text(HAZARD)
+    return path
+
+
+# -- selection ------------------------------------------------------------
+
+
+def test_select_limits_rules(hazard_file):
+    assert [f.code for f in run_lint([str(hazard_file)], select=["DET001"]).findings] == ["DET001"]
+    assert run_lint([str(hazard_file)], select=["SLOT001"]).findings == []
+
+
+def test_ignore_removes_rules(hazard_file):
+    assert run_lint([str(hazard_file)], ignore=["DET001"]).findings == []
+
+
+def test_unknown_code_is_a_usage_error(hazard_file):
+    with pytest.raises(LintUsageError, match="unknown rule code"):
+        run_lint([str(hazard_file)], select=["NOPE001"])
+    with pytest.raises(LintUsageError, match="no rules"):
+        run_lint([str(hazard_file)], ignore=list(RULE_CODES))
+
+
+def test_missing_path_is_a_usage_error(tmp_path):
+    with pytest.raises(LintUsageError, match="no such file"):
+        run_lint([str(tmp_path / "missing")])
+
+
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    result = run_lint([str(bad)])
+    (finding,) = result.findings
+    assert finding.code == "PARSE"
+
+
+def test_findings_are_sorted_and_stable(tmp_path):
+    for name in ("b.py", "a.py"):
+        (tmp_path / name).write_text(HAZARD)
+    first = run_lint([str(tmp_path)])
+    second = run_lint([str(tmp_path)])
+    assert [f.render() for f in first.findings] == [f.render() for f in second.findings]
+    assert [f.path for f in first.findings] == sorted(f.path for f in first.findings)
+
+
+# -- JSON schema ----------------------------------------------------------
+
+
+def test_json_schema(hazard_file):
+    payload = json.loads(run_lint([str(hazard_file)]).to_json())
+    assert payload["version"] == LINT_SCHEMA_VERSION
+    assert payload["files_scanned"] == 1
+    assert payload["counts"] == {"DET001": 1}
+    assert payload["suppressed"] == {"inline": 0, "baseline": 0}
+    assert payload["stale_baseline"] == []
+    (finding,) = payload["findings"]
+    assert set(finding) == {"code", "message", "path", "line", "col", "fingerprint"}
+    assert finding["code"] == "DET001"
+    assert finding["line"] == 4
+    assert isinstance(finding["fingerprint"], str) and finding["fingerprint"]
+
+
+# -- baseline -------------------------------------------------------------
+
+
+def write_baseline(tmp_path, entries):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 1, "entries": entries}))
+    return path
+
+
+def test_baseline_suppresses_matching_findings(tmp_path, hazard_file):
+    fingerprint = run_lint([str(hazard_file)]).findings[0].fingerprint
+    baseline = write_baseline(
+        tmp_path, [{"fingerprint": fingerprint, "reason": "tracked debt"}]
+    )
+    result = run_lint([str(hazard_file)], baseline_path=str(baseline))
+    assert result.findings == []
+    assert result.suppressed_baseline == 1
+    assert result.stale_baseline == []
+    assert result.clean
+
+
+def test_stale_baseline_entry_fails_the_run(tmp_path, hazard_file):
+    hazard_file.write_text("def tick(sim):\n    return sim.now\n")  # fixed!
+    baseline = write_baseline(
+        tmp_path, [{"fingerprint": "00" * 8, "reason": "was fixed"}]
+    )
+    result = run_lint([str(hazard_file)], baseline_path=str(baseline))
+    assert result.findings == []
+    assert result.stale_baseline == [
+        {"fingerprint": "00" * 8, "reason": "was fixed"}
+    ]
+    assert not result.clean
+    assert "stale entry" in result.render_text()
+
+
+def test_baseline_entry_requires_reason(tmp_path, hazard_file):
+    baseline = write_baseline(tmp_path, [{"fingerprint": "ab" * 8}])
+    with pytest.raises(LintUsageError, match="reason"):
+        run_lint([str(hazard_file)], baseline_path=str(baseline))
+
+
+def test_fingerprint_survives_line_moves(tmp_path, hazard_file):
+    before = run_lint([str(hazard_file)]).findings[0]
+    hazard_file.write_text("# a new comment line\n" + HAZARD)
+    after = run_lint([str(hazard_file)]).findings[0]
+    assert before.line != after.line
+    assert before.fingerprint == after.fingerprint
+
+
+# -- CLI ------------------------------------------------------------------
+
+
+def test_cli_exit_codes(tmp_path, hazard_file, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def tick(sim):\n    return sim.now\n")
+    assert main(["lint", str(clean)]) == 0
+    assert main(["lint", str(hazard_file)]) == 1
+    assert main(["lint", str(hazard_file), "--select", "BOGUS"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_json_output(hazard_file, capsys):
+    assert main(["lint", str(hazard_file), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"DET001": 1}
+
+
+def test_cli_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULE_CODES:
+        assert code in out
+
+
+def test_cli_survives_broken_pipe(tmp_path):
+    """`repro lint ... | head -1` must not traceback on SIGPIPE.
+
+    The findings output must exceed the kernel pipe buffer (64 KiB) or
+    the write completes before ``head`` exits and nothing is exercised.
+    """
+    import subprocess
+    import sys
+
+    body = "import time\n" + "t = time.time()\n" * 1000
+    (tmp_path / "big.py").write_text(body)
+    result = subprocess.run(
+        f"{sys.executable} -m repro lint {tmp_path} | head -1",
+        shell=True,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert "Traceback" not in result.stderr
+    assert "BrokenPipeError" not in result.stderr
+
+
+def test_cli_select_and_ignore(hazard_file, capsys):
+    assert main(["lint", str(hazard_file), "--ignore", "DET001"]) == 0
+    assert main(["lint", str(hazard_file), "--select", "DET001,SIM001"]) == 1
+    capsys.readouterr()
+
+
+# -- self-check -----------------------------------------------------------
+
+
+def test_shipped_tree_lints_clean():
+    """`repro lint src/` exits 0 on the tree this repo ships."""
+    result = run_lint([str(REPO_ROOT / "src")])
+    assert [f.render() for f in result.findings] == []
+    assert result.clean
+    assert result.files_scanned > 100
+
+
+def test_cli_on_shipped_tree(capsys):
+    assert main(["lint", str(REPO_ROOT / "src")]) == 0
+    capsys.readouterr()
