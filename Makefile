@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck bench bench-fast examples clean
+.PHONY: install test lint typecheck bench bench-guard bench-figs bench-fast examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,7 +22,18 @@ lint:
 typecheck:
 	$(PYTHON) -m mypy
 
+# Tracked perf baseline (kernel events/s, timer churn, full-stack
+# transfer, probe study, sweep) -> BENCH_003.json with ratios against
+# the committed BENCH_002.json.
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro bench
+
+# Same, but fail if kernel events/s regresses below BENCH_002.json.
+bench-guard:
+	PYTHONPATH=src $(PYTHON) -m repro bench --guard
+
+# Paper figure/table regeneration benchmarks (pytest-benchmark).
+bench-figs:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 bench-output:

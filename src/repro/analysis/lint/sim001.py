@@ -6,10 +6,12 @@ queue; every other component interacts with time exclusively through
 contract:
 
 * assigning a kernel-private field (``sim._now = ...``, ``sim._queue =
-  ...``) from outside ``repro/sim/kernel.py`` — the clock silently
-  diverges from the queue and events fire "in the past".  Assignments
-  through ``self`` are exempt: a class managing its *own* ``_running``
-  flag is not touching the kernel's;
+  ...``, ``queue._heap = ...``) from outside the kernel modules — the
+  clock silently diverges from the queue and events fire "in the past".
+  Since the event-core rewrite the run loop and :class:`EventQueue`
+  share the entry heap and tombstone counter, so those fields are
+  covered too.  Assignments through ``self`` are exempt: a class
+  managing its *own* ``_running`` flag is not touching the kernel's;
 * calling ``time.sleep`` anywhere in simulation code — an event
   callback that blocks the process stalls every simulated component at
   once and couples results to host scheduling.
@@ -25,13 +27,18 @@ import ast
 
 from repro.analysis.lint.base import FileContext, Finding, Rule
 
-#: Fields of ``Simulator`` that only the kernel itself may assign.
+#: Fields of ``Simulator`` and ``EventQueue`` that only the kernel
+#: modules themselves may assign.  ``_heap`` and ``_tombstones`` are the
+#: event queue's entry heap and tombstone count — the run loop pops and
+#: compacts them under invariants an outside writer cannot see.
 KERNEL_PRIVATE_FIELDS = frozenset({
     "_now", "_queue", "_seq", "_running", "_events_processed",
+    "_heap", "_tombstones",
 })
 
-#: The one module allowed to assign those fields.
-_KERNEL_MODULE = "repro.sim.kernel"
+#: The modules allowed to assign those fields: the kernel itself and the
+#: event-queue module whose structures it shares.
+_KERNEL_MODULES = frozenset({"repro.sim.kernel", "repro.sim.events"})
 
 
 class Sim001KernelInvariants(Rule):
@@ -49,7 +56,7 @@ class Sim001KernelInvariants(Rule):
     )
 
     def visit_file(self, ctx: FileContext) -> list[Finding]:
-        visitor = _Visitor(ctx, in_kernel=ctx.module == _KERNEL_MODULE)
+        visitor = _Visitor(ctx, in_kernel=ctx.module in _KERNEL_MODULES)
         visitor.visit(ctx.tree)
         return visitor.findings
 

@@ -12,7 +12,8 @@
     python -m repro metrics fig10        # run + print the metric table
     python -m repro flows fig12_14       # run + print per-connection flow records
     python -m repro report chaos_lossy_agent  # tail-latency attribution report
-    python -m repro bench                # perf baseline -> BENCH_002.json
+    python -m repro bench                # perf baseline -> BENCH_003.json
+    python -m repro bench --smoke --guard  # CI: fail on kernel regression
     python -m repro lint src/            # determinism/sim-invariant analyzer
 
 ``run`` prints the same rows/series the corresponding paper figure or
@@ -125,6 +126,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="one short round of each section (CI smoke)",
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="prior bench artifact to compute ratios against "
+        "(default: BENCH_002.json when present)",
+    )
+    bench_parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="exit non-zero if kernel events/s regresses below the "
+        "baseline artifact",
+    )
+    bench_parser.add_argument(
+        "--guard-min-ratio",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help="guard floor as a fraction of the baseline kernel events/s "
+        "(default: 1.0)",
     )
 
     lint_parser = subparsers.add_parser(
@@ -620,14 +642,51 @@ def _cmd_report(
     return 0
 
 
-def _cmd_bench(out: str | None, workers: int, seeds: int, smoke: bool) -> int:
-    from repro.bench import DEFAULT_OUTPUT, format_bench, run_bench, write_bench
+def _cmd_bench(
+    out: str | None,
+    workers: int,
+    seeds: int,
+    smoke: bool,
+    baseline: str | None,
+    guard: bool,
+    guard_min_ratio: float,
+) -> int:
+    from repro.bench import (
+        DEFAULT_BASELINE,
+        DEFAULT_OUTPUT,
+        format_bench,
+        guard_regression,
+        load_baseline,
+        run_bench,
+        write_bench,
+    )
 
+    baseline_path = baseline if baseline is not None else DEFAULT_BASELINE
     print("running perf baseline (this takes a while)...", file=sys.stderr)
-    payload = run_bench(workers=workers, seeds=seeds, smoke=smoke)
+    payload = run_bench(
+        workers=workers, seeds=seeds, smoke=smoke, baseline_path=baseline_path
+    )
     path = write_bench(payload, out if out is not None else DEFAULT_OUTPUT)
     print(format_bench(payload))
     print(f"\nbench written to {path}", file=sys.stderr)
+    if guard:
+        prior = load_baseline(baseline_path)
+        if prior is None:
+            print(
+                f"error: --guard needs a readable baseline artifact at "
+                f"{baseline_path}",
+                file=sys.stderr,
+            )
+            return 2
+        failures = guard_regression(payload, prior, min_ratio=guard_min_ratio)
+        for failure in failures:
+            print(f"bench guard: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"bench guard: kernel throughput holds against {baseline_path}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -670,7 +729,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "faults":
         return _cmd_faults(args.duration)
     if args.command == "bench":
-        return _cmd_bench(args.out, args.workers, args.seeds, args.smoke)
+        return _cmd_bench(
+            args.out,
+            args.workers,
+            args.seeds,
+            args.smoke,
+            args.baseline,
+            args.guard,
+            args.guard_min_ratio,
+        )
     if args.command == "metrics":
         try:
             return _cmd_metrics(

@@ -157,13 +157,18 @@ class Link:
         return True
 
     def _start_next_transmission(self) -> None:
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             self._transmitting = False
+            if self._obs_on:
+                self._g_queue_depth.set(0)
             return
         self._transmitting = True
-        item = self._queue.popleft()
+        item = queue.popleft()
+        if self._obs_on:
+            self._g_queue_depth.set(len(queue))
         tx_time = self.serialization_time(item.packet.size_bytes)
-        self._sim.schedule(tx_time, self._finish_transmission, item)
+        self._sim.schedule_fire(tx_time, self._finish_transmission, item)
 
     def _finish_transmission(self, item: _QueuedPacket) -> None:
         packet = item.packet
@@ -176,7 +181,7 @@ class Link:
             self._m_dropped_loss.inc()
         else:
             packet.sent_at = self._sim.now
-            self._sim.schedule(
+            self._sim.schedule_fire(
                 self.propagation_delay + self.extra_delay, self._deliver, item
             )
         self._start_next_transmission()

@@ -6,6 +6,8 @@ produce samples); this class only maintains SRTT/RTTVAR and the backoff.
 
 from __future__ import annotations
 
+import math
+
 from repro.tcp.constants import INITIAL_RTO, MAX_RTO, MIN_RTO
 
 _ALPHA = 0.125
@@ -27,6 +29,14 @@ class RttEstimator:
         self._min_rto = min_rto
         self._max_rto = max_rto
         self._initial_rto = initial_rto
+        #: Backoff saturates once ``min_rto * 2**exponent >= max_rto``
+        #: (the base is clamped to at least ``min_rto``, so this bound
+        #: holds for any base).  Growing the exponent past that point
+        #: cannot change the RTO but eventually overflows ``2 ** exp``
+        #: to an un-floatable bignum after ~1024 consecutive timeouts.
+        self._max_backoff_exponent = max(
+            0, math.ceil(math.log2(max_rto / min_rto))
+        )
         self._srtt: float | None = None
         self._rttvar: float = 0.0
         self._backoff_exponent = 0
@@ -70,8 +80,13 @@ class RttEstimator:
         self._backoff_exponent = 0
 
     def back_off(self) -> None:
-        """Double the RTO after a retransmission timeout."""
-        self._backoff_exponent += 1
+        """Double the RTO after a retransmission timeout.
+
+        The exponent is clamped where the RTO saturates ``max_rto``, so
+        arbitrarily long timeout streaks stay overflow-free.
+        """
+        if self._backoff_exponent < self._max_backoff_exponent:
+            self._backoff_exponent += 1
 
     def reset_backoff(self) -> None:
         self._backoff_exponent = 0

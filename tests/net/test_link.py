@@ -147,3 +147,40 @@ class TestDuplexLink:
             rng_reverse=random.Random(2),
         )
         assert duplex.forward._loss is not duplex.reverse._loss
+
+
+class TestQueueDepthGauge:
+    """Regression: the link_queue_depth gauge was set on enqueue only, so
+    after a burst drained it stayed stuck at the peak."""
+
+    def test_gauge_returns_to_zero_when_queue_empties(self):
+        from repro.obs import capture
+        from repro.sim import Simulator
+
+        with capture() as instrumentation:
+            sim = Simulator()
+            link = Link(sim, bandwidth_bps=1e6, propagation_delay=0.001)
+            for _ in range(10):
+                link.transmit(make_packet(1250), lambda p: None)
+            gauge = instrumentation.metrics.gauge("link_queue_depth")
+            assert gauge.value > 0
+            sim.run_until_idle()
+            assert link.queue_depth == 0
+            assert gauge.value == 0
+            # The high-water mark still records the burst peak.
+            assert gauge.max_value == 9
+
+    def test_gauge_tracks_partial_drain(self):
+        from repro.obs import capture
+        from repro.sim import Simulator
+
+        with capture() as instrumentation:
+            sim = Simulator()
+            link = Link(sim, bandwidth_bps=1e6, propagation_delay=0.0)
+            for _ in range(5):
+                link.transmit(make_packet(1250), lambda p: None)
+            gauge = instrumentation.metrics.gauge("link_queue_depth")
+            # 10 ms per packet; by 25 ms three have been popped to the
+            # wire (at 0, 10 and 20 ms), so two still wait in the queue.
+            sim.run(until=0.025)
+            assert gauge.value == link.queue_depth == 2

@@ -73,3 +73,155 @@ class TestBenchCli:
         assert json.loads(target.read_text())["benchmark"] == BENCH_NAME
         out = capsys.readouterr().out
         assert "bit-identical=True" in out
+
+
+class TestCancelChurn:
+    def test_churn_section_reports_compaction_bound(self):
+        from repro.bench import bench_cancel_churn
+
+        section = bench_cancel_churn(rearms=5_000)
+        assert section["rearms"] == 5_000
+        assert section["churn_ops_per_sec"] > 0
+        # Compaction must bound the physical heap far below the total
+        # number of re-arms (uncompacted it would hold all 5000 entries).
+        assert section["heap_high_water"] < 1_000
+
+
+class TestBaselineAndGuard:
+    BASELINE = {
+        "benchmark": "BENCH_002",
+        "kernel": {
+            "instrumented_events_per_sec": 1000.0,
+            "disabled_events_per_sec": 1100.0,
+        },
+        "tcp_transfer": {"events_per_sec": 500.0},
+        "probe_study": {"wall_time_s": 2.0},
+    }
+
+    PAYLOAD = {
+        "kernel": {
+            "instrumented_events_per_sec": 2000.0,
+            "disabled_events_per_sec": 2200.0,
+        },
+        "tcp_transfer": {"events_per_sec": 750.0},
+        "probe_study": {"wall_time_s": 1.0},
+    }
+
+    def test_ratios_headline_speedups(self):
+        from repro.bench import baseline_ratios
+
+        ratios = baseline_ratios(self.PAYLOAD, self.BASELINE)
+        assert ratios["benchmark"] == "BENCH_002"
+        assert ratios["kernel_instrumented"] == 2.0
+        assert ratios["kernel_disabled"] == 2.0
+        assert ratios["tcp_transfer"] == 1.5
+        # Wall time halved -> reported as a 2x speedup.
+        assert ratios["probe_study"] == 2.0
+
+    def test_guard_passes_at_or_above_floor(self):
+        from repro.bench import guard_regression
+
+        assert guard_regression(self.PAYLOAD, self.BASELINE) == []
+        assert guard_regression(self.BASELINE, self.BASELINE) == []
+
+    def test_guard_fails_below_floor(self):
+        from repro.bench import guard_regression
+
+        slower = {"kernel": {"instrumented_events_per_sec": 900.0}}
+        failures = guard_regression(slower, self.BASELINE)
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+
+    def test_guard_min_ratio_scales_the_floor(self):
+        from repro.bench import guard_regression
+
+        slower = {"kernel": {"instrumented_events_per_sec": 600.0}}
+        assert guard_regression(slower, self.BASELINE, min_ratio=0.5) == []
+        assert guard_regression(slower, self.BASELINE, min_ratio=0.7) != []
+
+    def test_guard_reports_missing_baseline_kernel(self):
+        from repro.bench import guard_regression
+
+        failures = guard_regression(self.PAYLOAD, {"benchmark": "X"})
+        assert failures and "no kernel section" in failures[0]
+
+    def test_load_baseline_absent_file_is_none(self, tmp_path):
+        from repro.bench import load_baseline
+
+        assert load_baseline(str(tmp_path / "missing.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert load_baseline(str(bad)) is None
+
+    def test_run_bench_attaches_baseline_ratios(self, tmp_path, monkeypatch):
+        import json as json_mod
+
+        from repro.bench import run_bench
+
+        prior = tmp_path / "BENCH_002.json"
+        prior.write_text(json_mod.dumps(self.BASELINE))
+        payload = run_bench(workers=1, seeds=1, smoke=True, baseline_path=str(prior))
+        assert payload["baseline"]["path"] == str(prior)
+        assert payload["baseline"]["ratios"]["kernel_instrumented"] > 0
+
+
+class TestBenchGuardCli:
+    def _fake_payload(self):
+        from repro.bench import BENCH_NAME
+
+        return {
+            "benchmark": BENCH_NAME,
+            "smoke": True,
+            "host": {"cpu_count": 1},
+            "kernel": {
+                "instrumented_events_per_sec": 500.0,
+                "disabled_events_per_sec": 600.0,
+            },
+            "tcp_transfer": {"events_per_sec": 3.0},
+            "probe_study": {"wall_time_s": 0.5},
+            "multiseed_sweep": {
+                "serial_wall_s": 1.0,
+                "parallel_wall_s": 0.5,
+                "workers": 2,
+                "speedup": 2.0,
+                "bit_identical": True,
+            },
+        }
+
+    def test_guard_failure_exits_nonzero(self, capsys, monkeypatch, tmp_path):
+        import json as json_mod
+
+        from repro import bench as bench_mod
+        from repro.cli import main
+
+        prior = tmp_path / "prior.json"
+        prior.write_text(
+            json_mod.dumps(
+                {"benchmark": "BENCH_002",
+                 "kernel": {"instrumented_events_per_sec": 1000.0}}
+            )
+        )
+        monkeypatch.setattr(
+            bench_mod, "run_bench", lambda **kwargs: self._fake_payload()
+        )
+        target = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--smoke", "--out", str(target),
+             "--baseline", str(prior), "--guard"]
+        )
+        assert code == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_guard_without_baseline_is_an_error(self, monkeypatch, tmp_path, capsys):
+        from repro import bench as bench_mod
+        from repro.cli import main
+
+        monkeypatch.setattr(
+            bench_mod, "run_bench", lambda **kwargs: self._fake_payload()
+        )
+        code = main(
+            ["bench", "--smoke", "--out", str(tmp_path / "b.json"),
+             "--baseline", str(tmp_path / "nope.json"), "--guard"]
+        )
+        assert code == 2
+        assert "readable baseline" in capsys.readouterr().err

@@ -1,0 +1,167 @@
+"""Differential test: the rewritten event queue vs the original heapq one.
+
+The pre-rewrite queue — a plain ``heapq`` of :class:`Event` objects with
+``__lt__`` ordering and a live counter — is kept here as a test oracle.
+Randomized schedule/cancel/pop traces (including cancel-heavy mixes and
+same-timestamp bursts) are run through both implementations; pop order
+and ``len()`` must match step for step.  This is what "the rewrite must
+preserve the exact ``(time, seq)`` firing order" means operationally.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+class OracleQueue:
+    """The original heap-of-events queue, verbatim semantics."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def pop(self) -> Event:
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            event.fired = True
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty event queue")
+
+    def peek_time(self) -> float:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            raise IndexError("peek on empty event queue")
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        if self._live > 0:
+            self._live -= 1
+
+
+def _run_trace(
+    seed: int,
+    steps: int,
+    cancel_weight: float,
+    burst_weight: float,
+) -> None:
+    """Drive both queues through one random trace and compare them."""
+    rng = random.Random(seed)
+    oracle = OracleQueue()
+    queue = EventQueue()
+    seq = 0
+    # Parallel handle lists: index i is the same logical event in both.
+    oracle_handles: list[Event] = []
+    queue_handles: list[Event] = []
+    popped_oracle: list[tuple[float, int]] = []
+    popped_queue: list[tuple[float, int]] = []
+
+    def push_one(time: float) -> None:
+        nonlocal seq
+        for handles, target in ((oracle_handles, oracle), (queue_handles, queue)):
+            event = Event(time, seq, lambda: None)
+            target.push(event)
+            handles.append(event)
+        seq += 1
+
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < burst_weight:
+            # Same-timestamp burst: ordering must fall to seq.
+            time = round(rng.uniform(0, 50), 1)
+            for _ in range(rng.randint(2, 8)):
+                push_one(time)
+        elif roll < burst_weight + cancel_weight:
+            if oracle_handles:
+                index = rng.randrange(len(oracle_handles))
+                o_event = oracle_handles[index]
+                q_event = queue_handles[index]
+                assert o_event.cancelled == q_event.cancelled
+                assert o_event.fired == q_event.fired
+                if not o_event.cancelled and not o_event.fired:
+                    o_event.cancel()
+                    oracle.note_cancelled()
+                    q_event.cancel()
+                    queue.note_cancelled()
+        elif roll < burst_weight + cancel_weight + 0.25:
+            if len(oracle):
+                popped_oracle.append(_key(oracle.pop()))
+            if len(queue):
+                popped_queue.append(_key(queue.pop()))
+        else:
+            push_one(round(rng.uniform(0, 100), 3))
+        assert len(oracle) == len(queue)
+        if len(oracle):
+            assert oracle.peek_time() == queue.peek_time()
+        assert popped_oracle == popped_queue
+
+    # Drain both completely; total pop order must be identical.
+    while len(oracle):
+        popped_oracle.append(_key(oracle.pop()))
+    while len(queue):
+        popped_queue.append(_key(queue.pop()))
+    assert popped_oracle == popped_queue
+    assert len(oracle) == len(queue) == 0
+
+
+def _key(event: Event) -> tuple[float, int]:
+    return (event.time, event.seq)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_differential_mixed_trace(seed: int) -> None:
+    _run_trace(seed, steps=400, cancel_weight=0.2, burst_weight=0.1)
+
+
+@pytest.mark.parametrize("seed", range(10, 16))
+def test_differential_cancel_heavy(seed: int) -> None:
+    """RTO-rearm-style traces: most scheduled events die before firing.
+
+    Cancel weight is high enough that tombstone compaction triggers many
+    times over the trace, exercising the in-place rebuild path."""
+    _run_trace(seed, steps=1200, cancel_weight=0.55, burst_weight=0.05)
+
+
+@pytest.mark.parametrize("seed", range(16, 20))
+def test_differential_same_timestamp_bursts(seed: int) -> None:
+    _run_trace(seed, steps=500, cancel_weight=0.1, burst_weight=0.45)
+
+
+def test_differential_pop_interleaved_with_compaction() -> None:
+    """Deterministic worst case: cancel a majority, then pop through the
+    compacted heap while the oracle still lazily skips its tombstones."""
+    oracle = OracleQueue()
+    queue = EventQueue()
+    events = []
+    for seq in range(500):
+        time = float(seq % 7)
+        o = Event(time, seq, lambda: None)
+        q = Event(time, seq, lambda: None)
+        oracle.push(o)
+        queue.push(q)
+        events.append((o, q))
+    for o, q in events[::3] + events[1::5]:
+        if not o.cancelled:
+            o.cancel()
+            oracle.note_cancelled()
+            q.cancel()
+            queue.note_cancelled()
+    order_oracle = [_key(oracle.pop()) for _ in range(len(oracle))]
+    order_queue = [_key(queue.pop()) for _ in range(len(queue))]
+    assert order_oracle == order_queue

@@ -96,3 +96,74 @@ class TestEventQueue:
         event.cancel()
         event.cancel()
         assert event.cancelled
+
+
+class TestHandleFreeEntries:
+    def test_push_entry_pop_materializes_event(self):
+        queue = EventQueue()
+        queue.push_entry(1.0, 7, _noop, ())
+        assert len(queue) == 1
+        event = queue.pop()
+        assert (event.time, event.seq) == (1.0, 7)
+        assert event.fired
+
+    def test_entries_and_events_interleave_by_key(self):
+        queue = EventQueue()
+        queue.push(make_event(2.0, 1))
+        queue.push_entry(1.0, 2, _noop, ())
+        queue.push_entry(2.0, 3, _noop, ())
+        assert queue.peek_time() == 1.0
+        assert [queue.pop().seq for _ in range(3)] == [2, 1, 3]
+
+
+class TestTombstoneCompaction:
+    def _fill(self, queue: EventQueue, count: int) -> list[Event]:
+        events = [make_event(float(i + 1), i) for i in range(count)]
+        for event in events:
+            queue.push(event)
+        return events
+
+    def test_compaction_evicts_cancelled_entries(self):
+        queue = EventQueue()
+        events = self._fill(queue, 200)
+        # Cancel enough to cross both thresholds (>= 64 tombstones and
+        # tombstones making up >= half the heap): compaction fires at the
+        # 100th cancel (100 * 2 >= 200), leaving the 50 later cancels as
+        # resident tombstones below the minimum.
+        for event in events[:150]:
+            event.cancel()
+            queue.note_cancelled()
+        assert queue.tombstones == 50
+        assert queue.heap_size == 100
+        assert len(queue) == 50
+
+    def test_no_compaction_below_minimum(self):
+        queue = EventQueue()
+        events = self._fill(queue, 40)
+        for event in events[:30]:
+            event.cancel()
+            queue.note_cancelled()
+        # 30 < COMPACT_MIN_TOMBSTONES: tombstones stay resident.
+        assert queue.tombstones == 30
+        assert queue.heap_size == 40
+        assert len(queue) == 10
+
+    def test_pop_order_preserved_across_compaction(self):
+        queue = EventQueue()
+        events = self._fill(queue, 300)
+        for event in events[::2]:
+            event.cancel()
+            queue.note_cancelled()
+        popped = [queue.pop().seq for _ in range(len(queue))]
+        assert popped == [e.seq for e in events[1::2]]
+
+    def test_compaction_keeps_handle_free_entries(self):
+        queue = EventQueue()
+        for i in range(100):
+            queue.push_entry(float(i), i, _noop, ())
+        events = self._fill(queue, 100)
+        for event in events:
+            event.cancel()
+            queue.note_cancelled()
+        assert len(queue) == 100
+        assert queue.tombstones == 0

@@ -149,3 +149,109 @@ class TestCancellation:
             sim.cancel(handle)
             sim.cancel(handle)
         assert sim.pending_events == 1
+
+
+class TestMaxEventsClockJump:
+    """Regression: run(until=, max_events=) must not fast-forward the
+    clock past live events left behind by a max_events stop."""
+
+    def test_clock_stays_at_last_event_on_max_events_stop(self, sim):
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None)
+        end = sim.run(until=10.0, max_events=2)
+        assert end == 2.0
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_interleaved_bounded_runs_never_move_clock_backwards(self, sim):
+        fired = []
+
+        def record(tag: int) -> None:
+            fired.append((sim.now, tag))
+
+        for i in range(20):
+            sim.schedule_at(float(i + 1), record, i)
+        observed = []
+        while sim.pending_events:
+            sim.run(until=100.0, max_events=3)
+            observed.append(sim.now)
+        assert observed == sorted(observed)
+        # Every event fired at its own time, never "in the past".
+        assert fired == [(float(i + 1), i) for i in range(20)]
+        # Queue drained and nothing remained before the bound.
+        assert sim.now == 100.0
+
+    def test_events_fire_at_or_after_now_across_bounded_runs(self, sim):
+        """No event may execute with event.time < the clock it sees."""
+        violations = []
+
+        def check(expected: float) -> None:
+            if sim.now != expected:
+                violations.append((sim.now, expected))
+
+        for i in range(50):
+            t = 0.25 * (i + 1)
+            sim.schedule_at(t, check, t)
+        while sim.pending_events:
+            sim.run(until=1000.0, max_events=7)
+        assert violations == []
+
+    def test_reschedule_between_bounded_runs_is_valid(self, sim):
+        """schedule_at against the un-jumped clock must not raise."""
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run(until=50.0, max_events=1)
+        assert sim.now == 1.0
+        # Before the fix now was already 50.0 and this raised.
+        sim.schedule_at(1.5, lambda: None)
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+        assert sim.pending_events == 0
+
+    def test_fast_forward_still_happens_when_queue_is_later(self, sim):
+        sim.schedule_at(75.0, lambda: None)
+        end = sim.run(until=50.0, max_events=10)
+        assert end == 50.0
+        assert sim.pending_events == 1
+
+    def test_fast_forward_when_stop_drains_exactly_at_max_events(self, sim):
+        """max_events stop with nothing live before the bound still jumps."""
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(90.0, lambda: None)
+        end = sim.run(until=10.0, max_events=1)
+        assert end == 10.0
+
+
+class TestScheduleFire:
+    def test_fire_and_forget_runs_in_order_with_handles(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "handle-2")
+        sim.schedule_fire(1.0, fired.append, "fire-1")
+        sim.schedule_fire(2.0, fired.append, "fire-2")
+        sim.schedule(2.0, fired.append, "handle-2b")
+        sim.run_until_idle()
+        assert fired == ["fire-1", "handle-2", "fire-2", "handle-2b"]
+
+    def test_fire_counts_as_pending_and_processed(self, sim):
+        sim.schedule_fire(1.0, lambda: None)
+        assert sim.pending_events == 1
+        sim.run_until_idle()
+        assert sim.events_processed == 1
+        assert sim.pending_events == 0
+
+    def test_negative_delay_rejected(self, sim):
+        from repro.sim import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            sim.schedule_fire(-0.5, lambda: None)
+
+    def test_fire_consumes_sequence_numbers(self, sim):
+        """Interleaving fire/handle paths preserves schedule order."""
+        fired = []
+        for i in range(10):
+            if i % 2:
+                sim.schedule(1.0, fired.append, i)
+            else:
+                sim.schedule_fire(1.0, fired.append, i)
+        sim.run_until_idle()
+        assert fired == list(range(10))

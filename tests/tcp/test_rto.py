@@ -122,3 +122,36 @@ def test_backoff_monotone_and_capped(samples, backoffs):
         assert est.rto >= previous
         assert est.rto <= 120.0
         previous = est.rto
+
+
+class TestBackoffSaturation:
+    """Regression: 2 ** exponent overflowed float conversion after ~1024
+    consecutive timeouts (OverflowError in the rto property)."""
+
+    def test_backoff_far_past_old_overflow_point(self):
+        est = RttEstimator()
+        for _ in range(5000):
+            est.back_off()
+        assert est.rto == est._max_rto
+
+    def test_backoff_saturates_at_max_rto(self):
+        est = RttEstimator(min_rto=0.2, max_rto=60.0, initial_rto=1.0)
+        previous = est.rto
+        for _ in range(20):
+            est.back_off()
+            assert est.rto >= previous
+            previous = est.rto
+        assert est.rto == 60.0
+
+    def test_sample_after_saturation_clears_backoff(self):
+        est = RttEstimator()
+        for _ in range(3000):
+            est.back_off()
+        est.add_sample(0.050)
+        assert est.rto < est._max_rto
+
+    def test_clamp_does_not_change_unsaturated_backoff(self):
+        est = RttEstimator(min_rto=1.0, max_rto=64.0, initial_rto=1.0)
+        est.back_off()
+        est.back_off()
+        assert est.rto == pytest.approx(4.0)
