@@ -23,12 +23,13 @@ typecheck:
 	$(PYTHON) -m mypy
 
 # Tracked perf baseline (kernel events/s, timer churn, full-stack
-# transfer, probe study, sweep) -> BENCH_003.json with ratios against
-# the committed BENCH_002.json.
+# transfer, probe study, sweep, fluid step, hybrid agreement) ->
+# BENCH_004.json with ratios against the committed BENCH_003.json.
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench
 
-# Same, but fail if kernel events/s regresses below BENCH_002.json.
+# Same, but fail if kernel or fluid-step events/s regresses below
+# BENCH_003.json.
 bench-guard:
 	PYTHONPATH=src $(PYTHON) -m repro bench --guard
 

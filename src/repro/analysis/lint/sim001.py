@@ -16,6 +16,13 @@ contract:
   callback that blocks the process stalls every simulated component at
   once and couples results to host scheduling.
 
+The mean-field engine (:mod:`repro.sim.fluid`) has the same shape of
+invariant: :class:`CwndDistribution` keeps its histogram (``_bin_mass``)
+and active range (``_lo_bin``/``_hi_bin``) consistent with the cached
+``flows`` total, so an outside writer desynchronizes mass accounting
+just like poking the kernel heap desynchronizes the clock.  Those
+fields get the same protection, scoped to their own owning module.
+
 ``repro.parallel`` may block on real time (it coordinates worker
 processes, not simulated ones) and is exempt from the sleep check via
 the shared exemption list.
@@ -40,12 +47,33 @@ KERNEL_PRIVATE_FIELDS = frozenset({
 #: event-queue module whose structures it shares.
 _KERNEL_MODULES = frozenset({"repro.sim.kernel", "repro.sim.events"})
 
+#: Fields of the fluid engine's ``CwndDistribution`` that only
+#: ``repro.sim.fluid`` may assign: the histogram and its active range
+#: are kept consistent with the cached ``flows`` total by the stepping
+#: code; writers go through ``add_mass``/``remove_fraction``/``step``.
+FLUID_PRIVATE_FIELDS = frozenset({"_bin_mass", "_lo_bin", "_hi_bin"})
+
+_FLUID_MODULES = frozenset({"repro.sim.fluid"})
+
+#: protected field -> (modules allowed to assign it, owning module shown
+#: in the finding message).
+_PROTECTED_FIELDS: dict[str, tuple[frozenset[str], str]] = {
+    **{
+        field: (_KERNEL_MODULES, "repro/sim/kernel.py")
+        for field in KERNEL_PRIVATE_FIELDS
+    },
+    **{
+        field: (_FLUID_MODULES, "repro/sim/fluid.py")
+        for field in FLUID_PRIVATE_FIELDS
+    },
+}
+
 
 class Sim001KernelInvariants(Rule):
     code = "SIM001"
     summary = (
-        "kernel-private field assigned outside the kernel, or "
-        "time.sleep in simulation code"
+        "kernel- or fluid-private field assigned outside its owning "
+        "module, or time.sleep in simulation code"
     )
     exempt_modules = (
         "repro.cli",
@@ -56,15 +84,15 @@ class Sim001KernelInvariants(Rule):
     )
 
     def visit_file(self, ctx: FileContext) -> list[Finding]:
-        visitor = _Visitor(ctx, in_kernel=ctx.module in _KERNEL_MODULES)
+        visitor = _Visitor(ctx)
         visitor.visit(ctx.tree)
         return visitor.findings
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, ctx: FileContext, in_kernel: bool) -> None:
+    def __init__(self, ctx: FileContext) -> None:
         self.ctx = ctx
-        self.in_kernel = in_kernel
+        self.module = ctx.module
         self.findings: list[Finding] = []
         self._time_aliases: set[str] = set()
         self._bare_sleeps: set[str] = set()
@@ -85,32 +113,34 @@ class _Visitor(ast.NodeVisitor):
     # -- kernel-private assignment ---------------------------------------
 
     def _check_store_target(self, target: ast.expr) -> None:
-        if self.in_kernel:
-            return
         if isinstance(target, (ast.Tuple, ast.List)):
             for element in target.elts:
                 self._check_store_target(element)
             return
+        if not isinstance(target, ast.Attribute):
+            return
+        protected = _PROTECTED_FIELDS.get(target.attr)
+        if protected is None:
+            return
+        allowed_modules, owner = protected
+        if self.module in allowed_modules:
+            return
         if (
-            isinstance(target, ast.Attribute)
-            and target.attr in KERNEL_PRIVATE_FIELDS
-            and not (
-                # ``self._running = ...`` is a class managing its *own*
-                # field of the same name (workload generators have one);
-                # the hazard is poking a field on a *held* simulator.
-                isinstance(target.value, ast.Name)
-                and target.value.id in ("self", "cls")
-            )
+            # ``self._running = ...`` is a class managing its *own*
+            # field of the same name (workload generators have one);
+            # the hazard is poking a field on a *held* simulator.
+            isinstance(target.value, ast.Name)
+            and target.value.id in ("self", "cls")
         ):
-            self.findings.append(
-                self.ctx.finding(
-                    "SIM001",
-                    target,
-                    f"assignment to kernel-private field `{target.attr}` "
-                    "outside repro/sim/kernel.py; go through "
-                    "schedule()/cancel()/run() instead",
-                )
+            return
+        self.findings.append(
+            self.ctx.finding(
+                "SIM001",
+                target,
+                f"assignment to private field `{target.attr}` outside "
+                f"{owner}; go through the owning class's methods instead",
             )
+        )
 
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:

@@ -2,7 +2,7 @@
 
 Runs a fixed set of micro- and macro-benchmarks over the simulator hot
 path and the parallel executor, and writes the readings to a JSON file
-(``BENCH_003.json`` by default) so subsequent changes have a perf
+(``BENCH_004.json`` by default) so subsequent changes have a perf
 trajectory to regress against:
 
 * **kernel** — raw event throughput of ``Simulator.run`` on a
@@ -18,26 +18,37 @@ trajectory to regress against:
 * **probe_study** — wall time of a reduced paired probe study, the
   workhorse scenario behind Figures 12-16;
 * **multiseed_sweep** — wall time of the same per-seed run serially and
-  under a 4-worker pool, the speedup between them, and whether the two
-  sweeps produced byte-identical values (they must);
+  under a worker pool (clamped to the host's CPU count, so a 1-core CI
+  box never pays pure fork overhead), the speedup between them, and
+  whether the two sweeps produced byte-identical values (they must);
+* **fluid_step** — throughput of the mean-field background engine: cwnd
+  distribution steps per second, flow-count invariance (a million-flow
+  cohort must step as fast as a thousand-flow one) and the open-flow
+  count sustainable in real time at the default cadence;
+* **hybrid** — the hybrid-vs-packet differential agreement deltas
+  (learned advisories, probe medians, first-RTT fractions) plus the
+  reduced scale scenario's sustained flow count and wall time;
 * **metrics** — histogram observe throughput and the cost of the first
   ordered read (the lazy sort), guarding the metrics hot path.
 
-When the committed prior artifact (``BENCH_002.json``) is readable, the
+When the committed prior artifact (``BENCH_003.json``) is readable, the
 payload also records a ``baseline`` section with the headline ratios
 against it, and :func:`guard_regression` turns those ratios into a CI
-gate: the job fails if kernel throughput drops below the prior artifact.
+gate: the job fails if kernel or fluid-step throughput drops below the
+prior artifact (the fluid guard arms itself only once a baseline with a
+``fluid_step`` section exists).
 
 Readings are wall-clock dependent; the JSON records the host's CPU
 count and Python version so trajectories compare like with like.  On a
-single-core host the sweep speedup hovers around 1x — the
-``bit_identical`` flag and the per-section events/sec are the portable
-signals there.
+single-core host the sweep clamps to one worker and the speedup reads
+1x by construction — the ``bit_identical`` flag and the per-section
+events/sec are the portable signals there.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -49,14 +60,14 @@ from repro.obs import capture, disabled
 from repro.sim.kernel import Simulator
 
 #: Bench schema tag; bump when the JSON layout changes.
-BENCH_NAME = "BENCH_003"
+BENCH_NAME = "BENCH_004"
 
 #: Default output path, relative to the invoking directory.
-DEFAULT_OUTPUT = "BENCH_003.json"
+DEFAULT_OUTPUT = "BENCH_004.json"
 
 #: The committed prior artifact the ``baseline`` section and the CI
 #: regression guard compare against.
-DEFAULT_BASELINE = "BENCH_002.json"
+DEFAULT_BASELINE = "BENCH_003.json"
 
 #: Reduced probe-study config used by the study and sweep sections: big
 #: enough to exercise every layer, small enough to finish in seconds.
@@ -203,7 +214,17 @@ def replace_seed(config: ProbeStudyConfig, seed: int) -> ProbeStudyConfig:
 
 
 def bench_multiseed_sweep(workers: int = 4, seeds: int = 8) -> dict[str, Any]:
-    """Serial vs parallel wall time of a multi-seed stability sweep."""
+    """Serial vs parallel wall time of a multi-seed stability sweep.
+
+    The worker count is clamped to the host's CPU count: forking four
+    workers on a one-core box measures fork overhead, not parallelism,
+    and used to report a meaningless sub-1x "speedup" the regression
+    guard then had to special-case.  The clamp is recorded so artifacts
+    from differently-sized hosts stay interpretable.
+    """
+    workers_requested = workers
+    cpu_count = os.cpu_count() or 1
+    workers = max(1, min(workers, cpu_count))
     seed_list = list(range(1, seeds + 1))
     started = time.perf_counter()
     serial = sweep_seeds("bench_probe_mean", seed_list, _sweep_metric, workers=1)
@@ -216,10 +237,107 @@ def bench_multiseed_sweep(workers: int = 4, seeds: int = 8) -> dict[str, Any]:
     return {
         "seeds": seeds,
         "workers": workers,
+        "workers_requested": workers_requested,
+        "workers_clamped": workers != workers_requested,
         "serial_wall_s": round(serial_wall, 4),
         "parallel_wall_s": round(parallel_wall, 4),
         "speedup": round(serial_wall / parallel_wall, 3) if parallel_wall else 0.0,
         "bit_identical": serial.values == parallel.values,
+    }
+
+
+def bench_fluid_step(
+    steps: int = 2000, flows: float = 1_000_000.0
+) -> dict[str, Any]:
+    """Mean-field engine throughput: distribution steps per second.
+
+    A cohort is warmed into a realistic spread (drift + churn + loss),
+    then stepped ``steps`` more times.  The same loop runs on a
+    thousand-flow cohort to measure flow-count invariance — the whole
+    point of the fluid engine is that step cost scales with the
+    histogram spread, not the flow count, so the ratio should sit near
+    1.  ``max_flows_realtime`` is the open-flow count sustainable in
+    real time at the default cadence: (steps/s x cadence) populations,
+    each carrying ``flows`` flows.
+    """
+    from repro.sim.fluid import FluidConfig, FluidPopulation
+
+    cadence = FluidConfig().cadence
+
+    def timed(flow_count: float) -> float:
+        population = FluidPopulation(
+            "bench",
+            rtt=0.1,
+            target_flows=flow_count,
+            entry_window=10,
+            churn_per_flow_per_sec=0.05,
+        )
+        for _ in range(50):
+            population.step(cadence, 1e-4, 10)
+        started = time.perf_counter()
+        for _ in range(steps):
+            population.step(cadence, 1e-4, 10)
+        return time.perf_counter() - started
+
+    large_wall = timed(flows)
+    small_wall = timed(1_000.0)
+    steps_per_sec = steps / large_wall
+    return {
+        "steps": steps,
+        "flows": flows,
+        "steps_per_sec": round(steps_per_sec, 1),
+        "flow_invariance_ratio": round(large_wall / small_wall, 3)
+        if small_wall
+        else 0.0,
+        "max_flows_realtime": round(steps_per_sec * cadence * flows),
+    }
+
+
+def bench_hybrid(smoke: bool = False) -> dict[str, Any]:
+    """Hybrid-vs-packet agreement plus the scale scenario's headline.
+
+    Records the differential deltas the acceptance tests hold within
+    tolerance (learned advisories, probe completion medians, first-RTT
+    fractions) and what a reduced scale run sustained, so BENCH
+    artifacts track model fidelity alongside raw throughput.
+    """
+    from repro.experiments.hybrid import (
+        HybridScaleConfig,
+        HybridStudyConfig,
+        run_differential,
+        run_scale,
+    )
+
+    # The differential runs full-length even in smoke mode: a truncated
+    # run reports mid-ramp disagreement, not model fidelity.
+    differential = run_differential(HybridStudyConfig())
+    scale_config = HybridScaleConfig(
+        flows_per_pair=100.0 if smoke else 900.0,
+        warmup=3.0 if smoke else 5.0,
+        duration=10.0 if smoke else 25.0,
+    )
+    scale = run_scale(scale_config)
+    packet_events = differential.packet.events_processed
+    hybrid_events = differential.hybrid.events_processed
+    return {
+        "smoke": smoke,
+        "advisory_max_rel_delta": round(
+            differential.advisory_max_rel_delta(), 4
+        ),
+        "probe_median_max_rel_delta": round(
+            differential.anchor_max_rel_delta(), 4
+        ),
+        "first_rtt_fraction_max_delta": round(
+            differential.first_window_fraction_delta(), 4
+        ),
+        "packet_arm_events": packet_events,
+        "hybrid_arm_events": hybrid_events,
+        "event_reduction": round(packet_events / hybrid_events, 2)
+        if hybrid_events
+        else 0.0,
+        "scale_flows_per_window": round(scale.flows_min),
+        "scale_sustained_million": scale.sustained_million_flows,
+        "scale_wall_s": round(scale.wall_seconds, 4),
     }
 
 
@@ -291,6 +409,11 @@ def baseline_ratios(
         "probe_study": ratio(
             base_study.get("wall_time_s", 0.0), study["wall_time_s"]
         ),
+        # None until the prior artifact grows a fluid_step section.
+        "fluid_step": ratio(
+            payload.get("fluid_step", {}).get("steps_per_sec", 0.0),
+            baseline.get("fluid_step", {}).get("steps_per_sec", 0.0),
+        ),
     }
 
 
@@ -299,8 +422,13 @@ def guard_regression(
     baseline: dict[str, Any],
     min_ratio: float = 1.0,
 ) -> list[str]:
-    """CI gate: kernel throughput must not regress below the prior
-    artifact.  Returns human-readable failures (empty = pass)."""
+    """CI gate: kernel and fluid-step throughput must not regress below
+    the prior artifact.  Returns human-readable failures (empty = pass).
+
+    A baseline without a ``fluid_step`` section (BENCH_003 and earlier
+    predate the fluid engine) simply leaves that guard unarmed — only
+    the kernel section is mandatory.
+    """
     failures: list[str] = []
     new = payload["kernel"]["instrumented_events_per_sec"]
     old = baseline.get("kernel", {}).get("instrumented_events_per_sec")
@@ -315,6 +443,17 @@ def guard_regression(
             f"({baseline.get('benchmark', 'baseline')} = {old:,.0f}/s "
             f"x min ratio {min_ratio})"
         )
+    fluid_new = payload.get("fluid_step", {}).get("steps_per_sec")
+    fluid_old = baseline.get("fluid_step", {}).get("steps_per_sec")
+    if fluid_new is not None and fluid_old is not None:
+        fluid_floor = fluid_old * min_ratio
+        if fluid_new < fluid_floor:
+            failures.append(
+                f"fluid_step.steps_per_sec regressed: {fluid_new:,.0f}/s is "
+                f"below the guard floor {fluid_floor:,.0f}/s "
+                f"({baseline.get('benchmark', 'baseline')} = {fluid_old:,.0f}/s "
+                f"x min ratio {min_ratio})"
+            )
     return failures
 
 
@@ -326,7 +465,6 @@ def run_bench(
 ) -> dict[str, Any]:
     """Run every section; ``smoke`` shrinks each to a CI-sized round."""
     from dataclasses import replace
-    import os
 
     if smoke:
         kernel = bench_kernel(events=60_000, repeats=3)
@@ -335,6 +473,8 @@ def run_bench(
         study_config = replace(_BENCH_STUDY, warmup=5.0, duration=10.0)
         study = bench_probe_study(study_config)
         sweep = bench_multiseed_sweep(workers=min(workers, 2), seeds=min(seeds, 2))
+        fluid = bench_fluid_step(steps=500)
+        hybrid = bench_hybrid(smoke=True)
         metrics = bench_metrics(observations=50_000)
     else:
         kernel = bench_kernel()
@@ -342,6 +482,8 @@ def run_bench(
         transfer = bench_tcp_transfer()
         study = bench_probe_study()
         sweep = bench_multiseed_sweep(workers=workers, seeds=seeds)
+        fluid = bench_fluid_step()
+        hybrid = bench_hybrid()
         metrics = bench_metrics()
     payload: dict[str, Any] = {
         "benchmark": BENCH_NAME,
@@ -357,6 +499,8 @@ def run_bench(
         "tcp_transfer": transfer,
         "probe_study": study,
         "multiseed_sweep": sweep,
+        "fluid_step": fluid,
+        "hybrid": hybrid,
         "metrics": metrics,
     }
     baseline = load_baseline(baseline_path)
@@ -404,6 +548,23 @@ def format_bench(payload: dict[str, Any]) -> str:
             f"cancel churn:  {churn['churn_ops_per_sec']:>12,.0f} ops/s "
             f"(heap high-water {churn['heap_high_water']})"
         )
+    fluid = payload.get("fluid_step")
+    if fluid is not None:
+        lines.append(
+            f"fluid step:    {fluid['steps_per_sec']:>12,.0f} steps/s at "
+            f"{fluid['flows']:,.0f} flows "
+            f"(invariance {fluid['flow_invariance_ratio']:.2f}x)"
+        )
+    hybrid = payload.get("hybrid")
+    if hybrid is not None:
+        lines.append(
+            f"hybrid:        {hybrid['scale_flows_per_window']:>12,.0f} "
+            f"flows/window in {hybrid['scale_wall_s']:.1f} s wall; deltas "
+            f"advisory {hybrid['advisory_max_rel_delta']:.1%} / "
+            f"median {hybrid['probe_median_max_rel_delta']:.1%} / "
+            f"firstRTT {hybrid['first_rtt_fraction_max_delta']:.2f} "
+            f"({hybrid['event_reduction']:.0f}x fewer events)"
+        )
     metrics = payload.get("metrics")
     if metrics is not None:
         lines.append(
@@ -418,7 +579,8 @@ def format_bench(payload: dict[str, Any]) -> str:
             f"kernel {_fmt_ratio(ratios['kernel_instrumented'])} "
             f"(disabled {_fmt_ratio(ratios['kernel_disabled'])}), "
             f"tcp {_fmt_ratio(ratios['tcp_transfer'])}, "
-            f"probe study {_fmt_ratio(ratios['probe_study'])}"
+            f"probe study {_fmt_ratio(ratios['probe_study'])}, "
+            f"fluid {_fmt_ratio(ratios.get('fluid_step'))}"
         )
     return "\n".join(lines)
 

@@ -8,6 +8,7 @@ production-like file-size distribution (Figure 2), diagnostic probes of
 
 from repro.cdn.cluster import CdnCluster, ClusterConfig
 from repro.cdn.filesizes import FileSizeDistribution
+from repro.cdn.fluidtraffic import FluidTraffic
 from repro.cdn.geo import GeoPoint, haversine_km, rtt_between
 from repro.cdn.pop import PoP
 from repro.cdn.probes import ProbeFleet, ProbeResult
@@ -19,6 +20,7 @@ __all__ = [
     "CdnCluster",
     "ClusterConfig",
     "FileSizeDistribution",
+    "FluidTraffic",
     "GeoPoint",
     "OrganicWorkload",
     "PoP",

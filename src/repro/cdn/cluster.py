@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.cdn.filesizes import FileSizeDistribution
+from repro.cdn.fluidtraffic import FluidTraffic
 from repro.cdn.monitors import CwndSampler, TimelineSampler
 from repro.cdn.pop import PoP
 from repro.cdn.probes import ProbeFleet
@@ -24,6 +25,7 @@ from repro.net.addresses import IPv4Address
 from repro.net.loss import BernoulliLoss, LossModel, NoLoss
 from repro.net.network import Network, PathSpec
 from repro.obs import Auditor, Instrumentation
+from repro.sim.fluid import FluidConfig
 from repro.sim.kernel import Simulator
 from repro.sim.rand import RandomStreams
 from repro.tcp.constants import TcpConfig
@@ -78,6 +80,7 @@ class CdnCluster:
         self.network = Network(self.sim, self.streams)
         self._pops: dict[str, _PopDeployment] = {}
         self._workloads: list[OrganicWorkload] = []
+        self._fluid: FluidTraffic | None = None
         self._build()
 
     # ------------------------------------------------------------------
@@ -227,6 +230,56 @@ class CdnCluster:
         workload.start()
         self._workloads.append(workload)
         return workload
+
+    @property
+    def fluid(self) -> FluidTraffic | None:
+        """The mean-field background engine, if one was attached."""
+        return self._fluid
+
+    def fluid_traffic(self, config: FluidConfig | None = None) -> FluidTraffic:
+        """The cluster's fluid engine, created (and started) on first use."""
+        if self._fluid is None:
+            self._fluid = FluidTraffic(self.sim, self.network, config)
+            self._fluid.start()
+        return self._fluid
+
+    def add_fluid_traffic(
+        self,
+        source_pop: str,
+        destination_pops: list[str],
+        flows_per_destination: float,
+        growth_segments_per_sec: float | None = None,
+        send_segments_per_flow_per_sec: float | None = None,
+        churn_per_flow_per_sec: float = 0.0,
+        host_index: int = 0,
+        is_client: bool = False,
+        config: FluidConfig | None = None,
+    ) -> FluidTraffic:
+        """Attach mean-field background cohorts from one host of a PoP.
+
+        The hybrid-mode sibling of :meth:`add_organic_workload`: one
+        :class:`~repro.sim.fluid.FluidPopulation` per destination PoP
+        (``flows_per_destination`` open flows each) registers on the
+        host, shows up in its ``ss`` polls, and presses on the trunks
+        its traffic crosses.  Register *after* ``start_riptide`` when a
+        no-churn cohort must pass the sampler's created-after filter.
+        """
+        engine = self.fluid_traffic(config)
+        deployment = self._deployment(source_pop)
+        host = deployment.hosts[host_index]
+        for code in destination_pops:
+            if code == source_pop:
+                continue
+            engine.add_population(
+                host,
+                self.server_address(code),
+                target_flows=flows_per_destination,
+                growth_segments_per_sec=growth_segments_per_sec,
+                send_segments_per_flow_per_sec=send_segments_per_flow_per_sec,
+                churn_per_flow_per_sec=churn_per_flow_per_sec,
+                is_client=is_client,
+            )
+        return engine
 
     def make_probe_fleet(
         self,

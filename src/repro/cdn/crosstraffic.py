@@ -11,6 +11,8 @@ flows sharing the trunk see queueing delay and drops.
 
 from __future__ import annotations
 
+import zlib
+
 from repro.net.addresses import IPv4Address
 from repro.net.link import Link
 from repro.net.packet import Packet
@@ -19,9 +21,22 @@ from repro.sim.kernel import Simulator
 #: Wire size of each filler packet (a full-MTU datagram).
 FILLER_PACKET_BYTES = 1500
 
-#: Address pair stamped on filler packets (never routed to a host).
-_FILLER_SRC = IPv4Address("192.0.2.1")
-_FILLER_DST = IPv4Address("192.0.2.2")
+
+def filler_addresses(name: str) -> tuple[IPv4Address, IPv4Address]:
+    """A per-source TEST-NET-1 address pair for filler packets.
+
+    Filler is never routed to a host, but it *is* visible in traces and
+    flow tooling — two sources sharing one hardcoded pair would be
+    indistinguishable there.  The pair is derived from the instance
+    name (stable across runs: same name, same addresses), giving 127
+    disjoint ``(src, dst)`` pairs inside 192.0.2.0/24.
+    """
+    slot = zlib.crc32(name.encode("utf-8")) % 127
+    first = 1 + 2 * slot
+    return (
+        IPv4Address(f"192.0.2.{first}"),
+        IPv4Address(f"192.0.2.{first + 1}"),
+    )
 
 
 class CrossTraffic:
@@ -40,6 +55,7 @@ class CrossTraffic:
         self._link = link
         self.rate_bps = float(rate_bps)
         self.name = name
+        self.filler_src, self.filler_dst = filler_addresses(name)
         self._running = False
         self.packets_offered = 0
 
@@ -64,7 +80,9 @@ class CrossTraffic:
     def _emit(self) -> None:
         if not self._running:
             return
-        packet = Packet(_FILLER_SRC, _FILLER_DST, FILLER_PACKET_BYTES, payload="filler")
+        packet = Packet(
+            self.filler_src, self.filler_dst, FILLER_PACKET_BYTES, payload="filler"
+        )
         self._link.transmit(packet, self._discard)
         self.packets_offered += 1
         self._sim.schedule(self.interval, self._emit)

@@ -1,0 +1,359 @@
+"""Mean-field background traffic: 10^6 open flows without 10^6 sockets.
+
+:class:`FluidTraffic` is the hybrid engine's cdn-side half, a sibling of
+:class:`~repro.cdn.crosstraffic.CrossTraffic`: where cross-traffic pumps
+real filler packets through one link, fluid traffic carries whole
+*populations* of background TCP flows as analytic cwnd distributions
+(:class:`~repro.sim.fluid.FluidPopulation`) and only touches the packet
+world through two narrow couplings:
+
+* **link pressure** — each population's aggregate send rate is applied
+  to the directional :class:`~repro.net.link.Link` its data crosses
+  (``link.set_fluid_load``), so packet-granular flows sharing the trunk
+  serialize against the residual capacity;
+* **loss feedback** — each step reads the link's parametric loss model
+  (``mean_loss_rate``) plus a congestion term when combined packet +
+  fluid offered load exceeds capacity, EWMA-smoothed, and feeds it back
+  into the halving dynamics.  A downed link drives the cohort's windows
+  to the floor, exactly like a packet flow timing out.
+
+Populations register per (source host, destination address) and appear
+in that host's ``ss`` polls as synthesized socket snapshots
+(``host.fluid_sources``), so the Riptide agent, EWMA learner, safety
+guard and :class:`~repro.cdn.monitors.CwndSampler` all observe fluid
+cohorts without a single code change.  Crucially the feedback loop is
+closed: new fluid arrivals enter at ``host.initcwnd_for(remote)``, so a
+Riptide-installed route jump-starts the background population just as
+it jump-starts real connections.
+
+The engine steps on a coarse cadence (default 250 ms) as one sim event
+per step, independent of flow count — a million open flows cost the
+same handful of histogram updates as a thousand.
+"""
+
+from __future__ import annotations
+
+from repro.linux.host import Host
+from repro.net.addresses import IPv4Address
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.sim.fluid import FluidConfig, FluidPopulation
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.tcp.socket import SocketStats, TcpState
+
+#: Destination port stamped on synthesized snapshots (the transfer
+#: service port, so fluid flows look like background fetch traffic).
+FLUID_REMOTE_PORT = 8080
+
+#: Base of the synthetic local-port range (above the ephemeral range
+#: real sockets draw from, so ports never collide in ss output).
+_FLUID_PORT_BASE = 50000
+
+#: Hard cap on the congestion loss term (beyond this AIMD is dead anyway).
+_MAX_LOSS_RATE = 0.5
+
+
+class _HostFluidSource:
+    """Adapter presenting one host's populations as an ``ss`` source."""
+
+    __slots__ = ("_engine", "_host")
+
+    def __init__(self, engine: "FluidTraffic", host: Host) -> None:
+        self._engine = engine
+        self._host = host
+
+    def socket_stats(self) -> list[SocketStats]:
+        return self._engine.socket_stats_for(self._host)
+
+
+class _LinkState:
+    """Per-link coupling state: load aggregation + smoothed loss."""
+
+    __slots__ = (
+        "link", "populations", "smoothed_loss", "last_bytes_offered",
+    )
+
+    def __init__(self, link: Link) -> None:
+        self.link = link
+        self.populations: list[FluidPopulation] = []
+        self.smoothed_loss = link.effective_loss_model.mean_loss_rate()
+        self.last_bytes_offered = link.stats.bytes_offered
+
+
+class FluidTraffic:
+    """The cluster-wide mean-field background-traffic engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: FluidConfig | None = None,
+        name: str = "fluid-traffic",
+    ) -> None:
+        self._sim = sim
+        self._network = network
+        self.config = config if config is not None else FluidConfig()
+        self.name = name
+        self._populations: list[FluidPopulation] = []
+        self._pop_host: list[Host] = []
+        self._pop_remote: list[IPv4Address] = []
+        self._pop_link: list[_LinkState | None] = []
+        self._pop_port_base: list[int] = []
+        self._by_host: dict[IPv4Address, list[int]] = {}
+        self._link_states: list[_LinkState] = []
+        self._link_index: dict[str, _LinkState] = {}
+        self._sources: dict[IPv4Address, _HostFluidSource] = {}
+        self._process = PeriodicProcess(
+            sim, self.config.cadence, self._step, name=name
+        )
+        self.steps = 0
+        metrics = sim.obs.metrics
+        self._m_steps = metrics.counter("fluid_steps")
+        self._g_flows = metrics.gauge("fluid_flows_open")
+        self._g_offered = metrics.gauge("fluid_offered_bps")
+        self._g_mean_cwnd = metrics.gauge("fluid_mean_cwnd")
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def add_population(
+        self,
+        host: Host,
+        remote: IPv4Address,
+        target_flows: float,
+        growth_segments_per_sec: float | None = None,
+        send_segments_per_flow_per_sec: float | None = None,
+        churn_per_flow_per_sec: float = 0.0,
+        is_client: bool = False,
+        rtt: float | None = None,
+    ) -> FluidPopulation:
+        """Register a background cohort from ``host`` toward ``remote``.
+
+        The cohort's data crosses the directional trunk from the host's
+        zone to the remote's zone (both must be registered; same-zone
+        cohorts are uncoupled — LAN paths have no interesting loss).
+        New flows enter at whatever initial window the host's route
+        table currently resolves for ``remote``.
+        """
+        src_zone = self._network.zone_of(host.address)
+        dst_zone = self._network.zone_of(remote)
+        if src_zone is None or dst_zone is None:
+            unresolved = host.address if src_zone is None else remote
+            raise ValueError(
+                f"address {unresolved} is in no registered zone; fluid "
+                "populations need resolvable endpoints to find their trunk"
+            )
+        link: Link | None = None
+        if src_zone != dst_zone:
+            link = self._network.link_from(src_zone, dst_zone)
+            if link is None:
+                raise ValueError(
+                    f"no trunk from zone {src_zone} to zone {dst_zone} "
+                    f"for fluid population {host.name}->{remote}"
+                )
+        if rtt is None:
+            if link is not None:
+                rtt = 2.0 * (link.propagation_delay + link.extra_delay)
+            else:
+                rtt = 2.0 * Network.DEFAULT_INTRA_ZONE_DELAY
+        entry_window = host.initcwnd_for(remote)
+        index = len(self._populations)
+        population = FluidPopulation(
+            name=f"{host.name}->{remote}",
+            rtt=rtt,
+            target_flows=target_flows,
+            entry_window=entry_window,
+            max_window=self.config.max_window,
+            bin_width=self.config.bin_width,
+            growth_segments_per_sec=growth_segments_per_sec,
+            send_segments_per_flow_per_sec=send_segments_per_flow_per_sec,
+            churn_per_flow_per_sec=churn_per_flow_per_sec,
+            mss=host.config.mss,
+            created_at=self._sim.now,
+            is_client=is_client,
+        )
+        self._populations.append(population)
+        self._pop_host.append(host)
+        self._pop_remote.append(remote)
+        self._pop_port_base.append(
+            _FLUID_PORT_BASE + index * self.config.ss_samples
+        )
+        link_state: _LinkState | None = None
+        if link is not None:
+            link_state = self._link_index.get(link.name)
+            if link_state is None:
+                link_state = _LinkState(link)
+                self._link_states.append(link_state)
+                self._link_index[link.name] = link_state
+            link_state.populations.append(population)
+        self._pop_link.append(link_state)
+        host_key = host.address
+        if host_key not in self._by_host:
+            self._by_host[host_key] = []
+            source = _HostFluidSource(self, host)
+            self._sources[host_key] = source
+            host.fluid_sources.append(source)
+        self._by_host[host_key].append(index)
+        return population
+
+    @property
+    def populations(self) -> list[FluidPopulation]:
+        return list(self._populations)
+
+    @property
+    def running(self) -> bool:
+        return self._process.running
+
+    def start(self, initial_delay: float | None = None) -> None:
+        self._process.start(initial_delay=initial_delay)
+
+    def stop(self) -> None:
+        self._process.stop()
+        # Release the pressure so packet flows get the trunks back.
+        for state in self._link_states:
+            state.link.set_fluid_load(0.0)
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+
+    def total_flows(self) -> float:
+        return sum(p.flows for p in self._populations)
+
+    def total_offered_bps(self) -> float:
+        return sum(p.offered_bps() for p in self._populations)
+
+    def mean_window(self) -> float:
+        """Flow-weighted mean congestion window across all cohorts."""
+        flows = self.total_flows()
+        if flows <= 0.0:
+            return 0.0
+        weighted = sum(p.distribution.total_window_segments() for p in self._populations)
+        return weighted / flows
+
+    def link_loss_rate(self, link: Link) -> float:
+        """The smoothed loss rate currently driving cohorts on ``link``."""
+        state = self._link_index.get(link.name)
+        if state is None:
+            return link.effective_loss_model.mean_loss_rate()
+        return state.smoothed_loss
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def _step(self) -> None:
+        dt = self.config.cadence
+        smoothing = self.config.loss_smoothing
+        # Pass 1: refresh each link's loss estimate from what the *last*
+        # interval actually carried (packet bytes observed on the link
+        # plus the fluid load it was charged with), then re-apply the
+        # new fluid pressure for the coming interval.
+        for state in self._link_states:
+            link = state.link
+            if not link.up:
+                state.smoothed_loss = 1.0
+                state.last_bytes_offered = link.stats.bytes_offered
+                link.set_fluid_load(0.0)
+                continue
+            capacity = link.bandwidth_bps * link.bandwidth_scale
+            offered = link.stats.bytes_offered
+            packet_bps = (offered - state.last_bytes_offered) * 8.0 / dt
+            state.last_bytes_offered = offered
+            fluid_bps = sum(p.offered_bps() for p in state.populations)
+            total_bps = packet_bps + fluid_bps
+            congestion = 0.0
+            if total_bps > capacity:
+                congestion = (total_bps - capacity) / total_bps
+            raw = link.effective_loss_model.mean_loss_rate() + congestion
+            if raw > _MAX_LOSS_RATE:
+                raw = _MAX_LOSS_RATE
+            state.smoothed_loss = (
+                state.smoothed_loss + smoothing * (raw - state.smoothed_loss)
+            )
+            link.set_fluid_load(fluid_bps)
+        # Pass 2: advance every cohort against its link's loss rate,
+        # refilling churned-out flows at the currently-routed initial
+        # window (the Riptide feedback edge).
+        for index, population in enumerate(self._populations):
+            link_state = self._pop_link[index]
+            loss = (
+                link_state.smoothed_loss if link_state is not None else 0.0
+            )
+            entry = self._pop_host[index].initcwnd_for(self._pop_remote[index])
+            population.step(dt, loss, entry)
+        self.steps += 1
+        self._m_steps.inc()
+        if self._sim.obs.enabled:
+            self._g_flows.set(self.total_flows())
+            self._g_offered.set(self.total_offered_bps())
+            self._g_mean_cwnd.set(self.mean_window())
+
+    # ------------------------------------------------------------------
+    # ss synthesis
+    # ------------------------------------------------------------------
+
+    def socket_stats_for(self, host: Host) -> list[SocketStats]:
+        """Synthesized ``ss`` snapshots for every cohort on ``host``.
+
+        Each population contributes snapshots at evenly spaced quantiles
+        of its cwnd distribution — ``min(config.ss_samples,
+        round(flows))`` of them, so a two-flow cohort weighs like two
+        sockets in the learner's average (matching the packet arm) while
+        a million-flow cohort still costs only ``ss_samples`` rows.
+        Cumulative sent/retransmitted counters split evenly across the
+        samples so the safety guard's per-poll deltas reflect the
+        cohort's true loss rate.  Deterministic: same state, same
+        snapshots.
+        """
+        indices = self._by_host.get(host.address)
+        if not indices:
+            return []
+        now = self._sim.now
+        max_samples = self.config.ss_samples
+        snapshots: list[SocketStats] = []
+        for index in indices:
+            population = self._populations[index]
+            if population.flows <= 0.0:
+                continue
+            count = min(max_samples, max(1, round(population.flows)))
+            remote = self._pop_remote[index]
+            port_base = self._pop_port_base[index]
+            windows = population.distribution.sample_windows(count)
+            ages = population.sample_ages(count, now)
+            sent_share = int(population.segments_sent_total / count)
+            retx_share = int(population.segments_retx_total / count)
+            acked_share = int(population.bytes_acked_total / count) + 1
+            entry = self._pop_host[index].initcwnd_for(remote)
+            for i in range(count):
+                created = now - ages[i]
+                snapshots.append(
+                    SocketStats(
+                        local_port=port_base + i,
+                        remote_address=remote,
+                        remote_port=FLUID_REMOTE_PORT,
+                        state=TcpState.ESTABLISHED,
+                        cwnd=windows[i],
+                        ssthresh=float(self.config.max_window),
+                        initial_cwnd=entry,
+                        srtt=population.rtt,
+                        bytes_acked=acked_share,
+                        bytes_received=0,
+                        segments_sent=sent_share,
+                        segments_retransmitted=retx_share,
+                        created_at=created,
+                        established_at=created,
+                        last_activity_at=now,
+                        is_client=population.is_client,
+                    )
+                )
+        return snapshots
+
+    def __repr__(self) -> str:
+        return (
+            f"<FluidTraffic populations={len(self._populations)} "
+            f"flows={self.total_flows():.0f} steps={self.steps} "
+            f"running={self.running}>"
+        )

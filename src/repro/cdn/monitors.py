@@ -131,6 +131,10 @@ class TimelineSampler:
         now = self._sim.now
         timeline = self._timeline
         timeline.record(now, "cluster", "faults_active", self._g_faults.value)
+        fluid = self._cluster.fluid
+        if fluid is not None:
+            timeline.record(now, "cluster", "fluid_flows_open", fluid.total_flows())
+            timeline.record(now, "cluster", "fluid_mean_cwnd", fluid.mean_window())
         for agent in self._cluster.all_agents():
             host = agent.host
             timeline.record(

@@ -12,7 +12,7 @@
     python -m repro metrics fig10        # run + print the metric table
     python -m repro flows fig12_14       # run + print per-connection flow records
     python -m repro report chaos_lossy_agent  # tail-latency attribution report
-    python -m repro bench                # perf baseline -> BENCH_003.json
+    python -m repro bench                # perf baseline -> BENCH_004.json
     python -m repro bench --smoke --guard  # CI: fail on kernel regression
     python -m repro lint src/            # determinism/sim-invariant analyzer
 
@@ -51,6 +51,9 @@ _FAST_OVERRIDES: dict[str, dict] = {
         "warmup": 5.0,
     },
     "fig11": {"duration": 45.0},
+    # Keep the full 34-PoP topology but shrink the population and clock:
+    # the CI scale-smoke job runs this to exercise the whole fluid path.
+    "hybrid": {"flows_per_pair": 100.0, "warmup": 3.0, "duration": 10.0},
 }
 
 #: Fast mode for the paired-study experiments shrinks the shared config.
@@ -106,7 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         metavar="PATH",
-        help="output JSON path (default: BENCH_002.json)",
+        help="output JSON path (default: BENCH_004.json)",
     )
     bench_parser.add_argument(
         "--workers",
@@ -132,13 +135,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="prior bench artifact to compute ratios against "
-        "(default: BENCH_002.json when present)",
+        "(default: BENCH_003.json when present)",
     )
     bench_parser.add_argument(
         "--guard",
         action="store_true",
-        help="exit non-zero if kernel events/s regresses below the "
-        "baseline artifact",
+        help="exit non-zero if kernel or fluid-step events/s regresses "
+        "below the baseline artifact",
     )
     bench_parser.add_argument(
         "--guard-min-ratio",

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig11_traffic_profiles,
     fig12_14_probe_times,
     fig15_16_percentile_gain,
+    hybrid,
     table2_pops,
 )
 
@@ -109,6 +110,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             edge_cases.run,
             simulation_backed=True,
             supports_workers=True,
+        ),
+        Experiment(
+            "hybrid",
+            "Mean-field hybrid: 34 PoPs, 10^6 open background flows per window",
+            hybrid.run,
+            simulation_backed=True,
         ),
         Experiment(
             "ext_diurnal",

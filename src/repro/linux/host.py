@@ -24,7 +24,7 @@ InitcwndHook = Callable[["IPv4Address"], "int | None"]
 
 from repro.linux.ip_tool import IpRouteTool
 from repro.linux.route import RouteTable
-from repro.linux.ss_tool import SsTool
+from repro.linux.ss_tool import SsTool, SyntheticSocketSource
 from repro.net.addresses import IPv4Address
 from repro.net.network import Network
 from repro.net.packet import Packet
@@ -66,6 +66,11 @@ class Host:
         #: the route table (the Section V "Kernel Implementation" path).
         #: Returning None falls through to the normal FIB lookup.
         self.initcwnd_hook: InitcwndHook | None = None
+        #: Mean-field cohorts whose synthesized snapshots appear in
+        #: ``ss`` polls alongside the real sockets (repro.cdn hybrid
+        #: mode).  Fabric-level state: a reboot does not clear it — the
+        #: background population exists independently of this box.
+        self.fluid_sources: list[SyntheticSocketSource] = []
         self.packets_received = 0
         self.packets_unmatched = 0
         self.reboots = 0

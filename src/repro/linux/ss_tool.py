@@ -18,7 +18,7 @@ modelling how ``ss`` actually misbehaves on a loaded box:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 from repro.linux.errors import ToolError
 from repro.tcp.socket import SocketStats, TcpState
@@ -28,6 +28,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Fault modes an ``ss`` poll can be armed with.
 SS_FAULT_MODES = ("error", "empty", "stale", "partial")
+
+
+class SyntheticSocketSource(Protocol):
+    """Something that fabricates socket snapshots for ``ss`` polls.
+
+    The fluid traffic engine registers one of these per host
+    (``host.fluid_sources``) so mean-field cohorts show up in ``ss``
+    output exactly like packet-granular sockets — the Riptide agent,
+    the EWMA learner and the safety guard stay byte-for-byte unchanged.
+    Returned snapshots carry real ``state``/``is_client``/``created_at``
+    fields; the tool applies its usual filters to them.
+    """
+
+    def socket_stats(self) -> list[SocketStats]: ...
 
 
 class SsTool:
@@ -90,6 +104,15 @@ class SsTool:
             if created_after is not None and sock.created_at < created_after:
                 continue
             snapshots.append(sock.stats_snapshot())
+        for source in self._host.fluid_sources:
+            for stats in source.socket_stats():
+                if established_only and stats.state is not TcpState.ESTABLISHED:
+                    continue
+                if outgoing_only and not stats.is_client:
+                    continue
+                if created_after is not None and stats.created_at < created_after:
+                    continue
+                snapshots.append(stats)
         if mode == "partial":
             return snapshots[::2]
         self._last_good = snapshots
@@ -113,4 +136,4 @@ class SsTool:
         return f"<SsTool host={self._host.address} polls={self.polls}{fault}>"
 
 
-__all__ = ["SS_FAULT_MODES", "SocketStats", "SsTool"]
+__all__ = ["SS_FAULT_MODES", "SocketStats", "SsTool", "SyntheticSocketSource"]

@@ -70,7 +70,7 @@ class Link:
         "_loss", "_rng", "name", "stats", "_queue", "_transmitting",
         "_obs_on", "_m_delivered", "_m_dropped_queue", "_m_dropped_loss",
         "_g_queue_depth", "up", "bandwidth_scale", "extra_delay",
-        "_loss_override", "_m_dropped_down",
+        "_loss_override", "_m_dropped_down", "fluid_bps",
     )
 
     def __init__(
@@ -107,6 +107,10 @@ class Link:
         self.bandwidth_scale = 1.0
         self.extra_delay = 0.0
         self._loss_override: LossModel | None = None
+        #: Aggregate bandwidth (bits/s) consumed by fluid background
+        #: cohorts (see repro.cdn.fluidtraffic).  Subtracted from the
+        #: capacity available to packet-granular traffic.
+        self.fluid_bps = 0.0
         # Aggregate (label-free) fabric counters; per-link detail stays in
         # ``self.stats``.  Handles are cached — these sit on the per-packet
         # hot path.
@@ -124,8 +128,19 @@ class Link:
         return len(self._queue)
 
     def serialization_time(self, size_bytes: int) -> float:
-        """Seconds to clock ``size_bytes`` onto the wire."""
-        return size_bytes * 8.0 / (self.bandwidth_bps * self.bandwidth_scale)
+        """Seconds to clock ``size_bytes`` onto the wire.
+
+        Fluid background load (``fluid_bps``) occupies a share of the
+        link, so packet-granular traffic serializes against the residual
+        capacity, floored at 5% so a saturated cohort slows packets
+        down rather than stalling them outright.
+        """
+        capacity = self.bandwidth_bps * self.bandwidth_scale
+        if self.fluid_bps:
+            residual = capacity - self.fluid_bps
+            floor = capacity * 0.05
+            capacity = residual if residual > floor else floor
+        return size_bytes * 8.0 / capacity
 
     def transmit(self, packet: Packet, deliver: DeliverCallback) -> bool:
         """Offer a packet to the link.
@@ -239,6 +254,17 @@ class Link:
     def set_loss_override(self, model: LossModel | None) -> None:
         """Replace the configured loss model until cleared with ``None``."""
         self._loss_override = model
+
+    def set_fluid_load(self, bps: float) -> None:
+        """Record the aggregate fluid-cohort send rate crossing this link."""
+        if bps < 0:
+            raise ValueError(f"fluid load must be >= 0, got {bps}")
+        self.fluid_bps = float(bps)
+
+    @property
+    def effective_loss_model(self) -> LossModel:
+        """The loss model currently in force (override wins)."""
+        return self._loss_override or self._loss
 
     def __repr__(self) -> str:
         return (

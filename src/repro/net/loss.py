@@ -26,6 +26,17 @@ class LossModel(ABC):
         Each link direction needs independent channel state.
         """
 
+    def mean_loss_rate(self) -> float:
+        """Long-run expected per-packet drop probability.
+
+        The fluid traffic engine (:mod:`repro.sim.fluid`) needs a scalar
+        loss rate to drive halving dynamics; sampling the stochastic
+        model would break determinism, so each model exposes its
+        stationary mean instead.  Unknown models conservatively report
+        0.0 (the fluid cohort then only halves on congestion overload).
+        """
+        return 0.0
+
 
 class NoLoss(LossModel):
     """A perfect wire."""
@@ -55,6 +66,9 @@ class BernoulliLoss(LossModel):
 
     def clone(self) -> "BernoulliLoss":
         return BernoulliLoss(self.probability)
+
+    def mean_loss_rate(self) -> float:
+        return self.probability
 
     def __repr__(self) -> str:
         return f"BernoulliLoss({self.probability})"
@@ -109,6 +123,15 @@ class GilbertElliottLoss(LossModel):
         return GilbertElliottLoss(
             self.p_good_to_bad, self.p_bad_to_good, self.loss_good, self.loss_bad
         )
+
+    def mean_loss_rate(self) -> float:
+        """Stationary loss rate of the two-state Markov channel."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0.0:
+            # The chain never leaves its start state (good).
+            return self.loss_good
+        pi_bad = self.p_good_to_bad / denom
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
 
     def __repr__(self) -> str:
         return (

@@ -123,6 +123,14 @@ class Network:
         """The duplex trunk between two zones, if one exists."""
         return self._duplexes.get(frozenset((zone_a, zone_b)))
 
+    def link_from(self, src_zone: Prefix, dst_zone: Prefix) -> Link | None:
+        """The unidirectional link carrying ``src_zone`` → ``dst_zone``.
+
+        Fluid cohorts apply their bandwidth pressure and read loss/RTT
+        from the directional link their data actually crosses.
+        """
+        return self._trunks.get((src_zone, dst_zone))
+
     def trunks_touching(self, zone: Prefix) -> list[DuplexLink]:
         """All trunks with ``zone`` as one endpoint (partition surface).
 

@@ -8,13 +8,17 @@ experiment is reproducible from a single integer seed.
 
 from repro.sim.errors import SchedulingError, SimulationError
 from repro.sim.events import Event, EventQueue
+from repro.sim.fluid import CwndDistribution, FluidConfig, FluidPopulation
 from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicProcess
 from repro.sim.rand import RandomStreams
 
 __all__ = [
+    "CwndDistribution",
     "Event",
     "EventQueue",
+    "FluidConfig",
+    "FluidPopulation",
     "PeriodicProcess",
     "RandomStreams",
     "SchedulingError",

@@ -262,6 +262,36 @@ def test_sim001_allows_the_kernel_itself(tmp_path):
     assert codes(run_lint([str(kernel)])) == []
 
 
+SIM001_FLUID_POSITIVE = [
+    # poking the histogram desynchronizes the cached flows total
+    "def cheat(dist):\n    dist._bin_mass = [1.0]\n",
+    "def cheat(dist):\n    dist._lo_bin = 0\n",
+    "def cheat(pop):\n    pop.distribution._hi_bin = 5\n",
+]
+
+
+@pytest.mark.parametrize("source", SIM001_FLUID_POSITIVE)
+def test_sim001_protects_fluid_state(tmp_path, source):
+    assert codes(lint_snippet(tmp_path, source)) == ["SIM001"]
+
+
+def test_sim001_fluid_fields_allowed_in_owning_module(tmp_path):
+    fluid = tmp_path / "repro" / "sim" / "fluid.py"
+    fluid.parent.mkdir(parents=True)
+    fluid.write_text(
+        "class CwndDistribution:\n"
+        "    def rebuild(self, dist, new):\n"
+        "        dist._bin_mass = new\n"
+        "        dist._lo_bin, dist._hi_bin = 0, -1\n"
+    )
+    assert codes(run_lint([str(fluid)])) == []
+
+
+def test_sim001_fluid_reads_are_fine(tmp_path):
+    source = "def spread(dist):\n    return dist._hi_bin - dist._lo_bin\n"
+    assert codes(lint_snippet(tmp_path, source)) == []
+
+
 # -- SLOT001: undeclared slot attributes ----------------------------------
 
 

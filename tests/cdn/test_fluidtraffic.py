@@ -1,0 +1,297 @@
+"""Tests for the cluster-side fluid engine (`repro.cdn.fluidtraffic`).
+
+The couplings under test: populations register per (host, destination)
+and appear in `ss` polls as synthesized sockets the unchanged Riptide
+stack learns from; their offered load pressures the shared trunk; the
+link's loss model and outages feed back into the cohort dynamics.
+"""
+
+import pytest
+
+from repro.cdn.cluster import CdnCluster, ClusterConfig
+from repro.cdn.crosstraffic import filler_addresses
+from repro.cdn.fluidtraffic import FLUID_REMOTE_PORT, FluidTraffic
+from repro.cdn.topology import Topology, build_paper_topology
+from repro.core.config import RiptideConfig
+from repro.sim.fluid import FluidConfig
+from repro.tcp.constants import TcpConfig
+from repro.tcp.socket import TcpState
+
+
+def topology(codes=("LHR", "JFK", "NRT")):
+    full = build_paper_topology()
+    return Topology(pops=tuple(p for p in full.pops if p.code in codes))
+
+
+@pytest.fixture
+def cluster():
+    return CdnCluster(
+        topology(),
+        ClusterConfig(
+            seed=3, tcp=TcpConfig(default_initrwnd=300)
+        ),
+    )
+
+
+def add_population(cluster, source="LHR", dest="JFK", flows=50.0, **kwargs):
+    engine = cluster.fluid_traffic()
+    host = cluster.hosts(source)[0]
+    return engine, engine.add_population(
+        host, cluster.server_address(dest), target_flows=flows, **kwargs
+    )
+
+
+class TestRegistration:
+    def test_population_registers_and_steps(self, cluster):
+        engine, pop = add_population(cluster)
+        cluster.run(2.0)
+        assert engine.running
+        assert engine.steps > 0
+        assert pop.steps == engine.steps
+        assert engine.total_flows() == pytest.approx(50.0, rel=1e-6)
+
+    def test_rtt_derived_from_trunk(self, cluster):
+        _, pop = add_population(cluster)
+        trunk = cluster.network.link_from(
+            cluster.pop("LHR").prefix, cluster.pop("JFK").prefix
+        )
+        assert pop.rtt == pytest.approx(
+            2.0 * (trunk.propagation_delay + trunk.extra_delay)
+        )
+
+    def test_entry_window_is_routed_initcwnd(self, cluster):
+        host = cluster.hosts("LHR")[0]
+        remote = cluster.server_address("JFK")
+        host.ip.route_replace(f"{remote}/32", initcwnd=77)
+        _, pop = add_population(cluster)
+        assert pop.distribution.quantile(0.5) == 77
+
+    def test_stop_releases_link_pressure(self, cluster):
+        engine, _ = add_population(cluster)
+        cluster.run(2.0)
+        trunk = cluster.network.link_from(
+            cluster.pop("LHR").prefix, cluster.pop("JFK").prefix
+        )
+        assert trunk.fluid_bps > 0.0
+        engine.stop()
+        assert trunk.fluid_bps == 0.0
+        assert not engine.running
+
+    def test_cluster_helper_adds_per_destination(self, cluster):
+        engine = cluster.add_fluid_traffic(
+            "LHR", ["JFK", "NRT"], flows_per_destination=10.0
+        )
+        assert len(engine.populations) == 2
+        cluster.run(1.0)
+        assert engine.total_flows() == pytest.approx(20.0, rel=1e-6)
+
+
+class TestSsSynthesis:
+    def test_fluid_sockets_visible_in_ss(self, cluster):
+        _, pop = add_population(cluster, flows=50.0)
+        cluster.run(1.0)
+        host = cluster.hosts("LHR")[0]
+        stats = host.ss.tcp_info(established_only=True)
+        fluid_rows = [s for s in stats if s.remote_port == FLUID_REMOTE_PORT]
+        assert len(fluid_rows) == FluidConfig().ss_samples
+        row = fluid_rows[0]
+        assert row.state is TcpState.ESTABLISHED
+        assert row.remote_address == cluster.server_address("JFK")
+        assert row.cwnd >= 1
+        assert row.srtt == pytest.approx(pop.rtt)
+
+    def test_small_cohort_contributes_few_rows(self, cluster):
+        add_population(cluster, flows=2.0)
+        cluster.run(1.0)
+        host = cluster.hosts("LHR")[0]
+        rows = [
+            s for s in host.ss.tcp_info()
+            if s.remote_port == FLUID_REMOTE_PORT
+        ]
+        # A two-flow cohort weighs like two sockets, not ss_samples.
+        assert len(rows) == 2
+
+    def test_outgoing_only_filter_respects_is_client(self, cluster):
+        add_population(cluster, flows=10.0, is_client=True)
+        add_population(cluster, dest="NRT", flows=10.0, is_client=False)
+        cluster.run(1.0)
+        host = cluster.hosts("LHR")[0]
+        outgoing = [
+            s for s in host.ss.tcp_info(outgoing_only=True)
+            if s.remote_port == FLUID_REMOTE_PORT
+        ]
+        assert outgoing
+        assert all(s.is_client for s in outgoing)
+
+    def test_counters_split_across_samples(self, cluster):
+        _, pop = add_population(cluster, flows=50.0)
+        cluster.run(5.0)
+        host = cluster.hosts("LHR")[0]
+        rows = [
+            s for s in host.ss.tcp_info()
+            if s.remote_port == FLUID_REMOTE_PORT
+        ]
+        total_sent = sum(s.segments_sent for s in rows)
+        assert total_sent == pytest.approx(pop.segments_sent_total, rel=0.05)
+        assert all(s.bytes_acked > 0 for s in rows)
+
+    def test_agent_learns_from_fluid_only(self, cluster):
+        """The end-to-end claim: an unchanged Riptide agent learns
+        windows from a purely fluid background."""
+        host = cluster.hosts("LHR")[0]
+        remote = cluster.server_address("JFK")
+        engine = cluster.fluid_traffic()
+        engine.add_population(
+            host, remote, target_flows=100.0,
+            growth_segments_per_sec=40.0, churn_per_flow_per_sec=0.5,
+        )
+        cluster.start_riptide(["LHR"])
+        cluster.run(20.0)
+        agent = cluster.agents("LHR")[0]
+        learned = dict(agent.learned_table().windows())
+        assert learned, "agent learned nothing from fluid cohorts"
+        assert all(w >= 10 for w in learned.values())
+
+
+class TestLinkCoupling:
+    def test_fluid_load_extends_serialization(self, cluster):
+        add_population(cluster, flows=400.0)
+        cluster.run(2.0)
+        trunk = cluster.network.link_from(
+            cluster.pop("LHR").prefix, cluster.pop("JFK").prefix
+        )
+        loaded = trunk.serialization_time(1460)
+        trunk.set_fluid_load(0.0)
+        clean = trunk.serialization_time(1460)
+        assert loaded > clean
+
+    def test_serialization_floor_protects_packet_slice(self, sim):
+        from repro.net.link import Link
+
+        link = Link(sim, bandwidth_bps=1e9, propagation_delay=0.01)
+        link.set_fluid_load(1e12)  # absurd overload
+        # Residual capacity floors at 5% of the link.
+        assert link.serialization_time(1460) == pytest.approx(
+            1460 * 8 / (1e9 * 0.05)
+        )
+        with pytest.raises(ValueError):
+            link.set_fluid_load(-1.0)
+
+    def test_overload_raises_loss_rate(self, cluster):
+        engine, pop = add_population(
+            cluster, flows=100_000.0, growth_segments_per_sec=50.0
+        )
+        trunk = cluster.network.link_from(
+            cluster.pop("LHR").prefix, cluster.pop("JFK").prefix
+        )
+        baseline = trunk.effective_loss_model.mean_loss_rate()
+        cluster.run(10.0)
+        assert engine.link_loss_rate(trunk) > baseline
+        # Congestion holds the cohort's windows down.
+        assert pop.mean_window() < 50
+
+    def test_link_down_collapses_cohort(self, cluster):
+        engine, pop = add_population(
+            cluster, flows=50.0, growth_segments_per_sec=20.0
+        )
+        cluster.run(5.0)
+        grown = pop.mean_window()
+        trunk = cluster.network.link_from(
+            cluster.pop("LHR").prefix, cluster.pop("JFK").prefix
+        )
+        trunk.set_down()
+        cluster.run(2.0)
+        assert engine.link_loss_rate(trunk) == 1.0
+        assert pop.mean_window() < grown
+        assert trunk.fluid_bps == 0.0
+
+    def test_intra_zone_population_uncoupled(self, cluster):
+        engine = cluster.fluid_traffic()
+        host = cluster.hosts("LHR")[0]
+        peer = cluster.hosts("LHR")[1]
+        pop = engine.add_population(host, peer.address, target_flows=5.0)
+        cluster.run(1.0)
+        assert pop.flows == pytest.approx(5.0)
+        assert not engine._link_states or all(
+            p is not pop
+            for state in engine._link_states
+            for p in state.populations
+        )
+
+
+class TestObservability:
+    def test_gauges_and_counters_emitted(self):
+        from repro.obs import capture
+
+        with capture():
+            cluster = CdnCluster(
+                topology(), ClusterConfig(seed=3)
+            )
+            cluster.add_fluid_traffic(
+                "LHR", ["JFK"], flows_per_destination=25.0
+            )
+            cluster.run(3.0)
+            metrics = cluster.sim.obs.metrics
+            assert metrics.counter("fluid_steps").value > 0
+            assert metrics.gauge("fluid_flows_open").value == pytest.approx(
+                25.0, rel=1e-6
+            )
+            assert metrics.gauge("fluid_offered_bps").value > 0
+            assert metrics.gauge("fluid_mean_cwnd").value >= 1.0
+
+    def test_timeline_sampler_records_fluid_series(self):
+        from repro.obs import capture
+
+        with capture():
+            cluster = CdnCluster(topology(), ClusterConfig(seed=3))
+            cluster.add_fluid_traffic(
+                "LHR", ["JFK"], flows_per_destination=25.0
+            )
+            cluster.start_timeline_sampler(interval=1.0)
+            cluster.run(5.0)
+            names = set(cluster.sim.obs.timeline.series_names())
+            assert "cluster:fluid_flows_open" in names
+            assert "cluster:fluid_mean_cwnd" in names
+
+
+class TestFillerAddresses:
+    def test_distinct_per_instance_name(self):
+        a_src, a_dst = filler_addresses("cross-traffic")
+        b_src, b_dst = filler_addresses("storm-JFK")
+        assert {a_src, a_dst} & {b_src, b_dst} == set()
+        assert a_src != a_dst
+
+    def test_stable_across_calls(self):
+        assert filler_addresses("x") == filler_addresses("x")
+
+    def test_addresses_in_test_net(self):
+        src, dst = filler_addresses("any-name-at-all")
+        assert str(src).startswith("192.0.2.")
+        assert str(dst).startswith("192.0.2.")
+
+    def test_instance_uses_derived_addresses(self, sim):
+        from repro.cdn.crosstraffic import CrossTraffic
+        from repro.net.link import Link
+
+        link = Link(sim, bandwidth_bps=10e6, propagation_delay=0.001)
+        source = CrossTraffic(sim, link, rate_bps=1e6, name="storm-A")
+        assert (source.filler_src, source.filler_dst) == filler_addresses(
+            "storm-A"
+        )
+
+
+class TestEngineValidation:
+    def test_unknown_zone_pair_raises(self, cluster):
+        engine = cluster.fluid_traffic()
+        host = cluster.hosts("LHR")[0]
+        # An address in no registered zone: intra-zone fallback only
+        # applies when both ends resolve to the same zone.
+        from repro.net.addresses import IPv4Address
+
+        orphan = IPv4Address("203.0.113.9")
+        with pytest.raises(ValueError):
+            engine.add_population(host, orphan, target_flows=1.0)
+
+    def test_engine_repr_mentions_population_count(self, cluster):
+        engine, _ = add_population(cluster)
+        assert "populations=1" in repr(engine)

@@ -1,0 +1,255 @@
+"""Tests for the mean-field fluid engine (`repro.sim.fluid`).
+
+The closed-form checks pin the model to its analytics: mass is
+conserved, drift moves the mean at exactly the configured rate, loss
+halves the right bins, churn settles at its fixed point, and stepping
+is bit-deterministic.
+"""
+
+import math
+
+import pytest
+
+from repro.sim.fluid import CwndDistribution, FluidConfig, FluidPopulation
+
+
+class TestFluidConfig:
+    def test_defaults_validate(self):
+        config = FluidConfig()
+        assert config.cadence == 0.25
+        assert config.max_window == 320
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cadence": 0.0},
+            {"max_window": 1},
+            {"bin_width": 0},
+            {"loss_smoothing": 0.0},
+            {"loss_smoothing": 1.5},
+            {"ss_samples": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FluidConfig(**kwargs)
+
+
+class TestCwndDistribution:
+    def test_add_mass_tracks_totals(self):
+        dist = CwndDistribution(max_window=100)
+        dist.add_mass(10, 5.0)
+        dist.add_mass(20, 3.0)
+        assert dist.flows == pytest.approx(8.0)
+        assert dist.total_window_segments() == pytest.approx(5 * 10 + 3 * 20)
+        assert dist.mean() == pytest.approx(110 / 8)
+
+    def test_window_bin_round_trip(self):
+        dist = CwndDistribution(max_window=320, bin_width=4)
+        for window in (1, 4, 5, 100, 317):
+            b = dist.window_to_bin(window)
+            assert dist.bin_to_window(b) <= window
+            assert window <= dist.bin_to_window(b) + dist.bin_width - 1
+
+    def test_no_loss_drift_is_exact(self):
+        """With zero loss the mean advances at exactly the drift rate."""
+        dist = CwndDistribution(max_window=320)
+        dist.add_mass(10, 1000.0)
+        for _ in range(10):
+            dist.step(0.25, rtt=0.1, loss_rate=0.0, drift_segments_per_sec=100.0)
+        # 10 steps x 0.25 s x 100 seg/s = 250 segments of drift.
+        assert dist.mean() == pytest.approx(260.0, rel=1e-9)
+        assert dist.flows == pytest.approx(1000.0)
+
+    def test_mass_conserved_under_loss(self):
+        dist = CwndDistribution(max_window=320)
+        dist.add_mass(64, 500.0)
+        for _ in range(200):
+            dist.step(0.25, rtt=0.1, loss_rate=0.01, drift_segments_per_sec=10.0)
+        assert dist.flows == pytest.approx(500.0, rel=1e-6)
+
+    def test_halving_moves_mass_to_half_bin(self):
+        dist = CwndDistribution(max_window=320)
+        dist.add_mass(100, 1.0)
+        # One step, certain loss, no drift: everything lands at w/2.
+        events = dist.step(
+            0.25, rtt=0.1, loss_rate=1.0, drift_segments_per_sec=0.0
+        )
+        assert events == pytest.approx(1.0)
+        assert dist.quantile(0.5) == 50
+
+    def test_drift_clamps_at_top_bin(self):
+        dist = CwndDistribution(max_window=100)
+        dist.add_mass(95, 10.0)
+        for _ in range(20):
+            dist.step(0.25, rtt=0.1, loss_rate=0.0, drift_segments_per_sec=50.0)
+        assert dist.mean() == pytest.approx(dist.max_window)
+        assert dist.flows == pytest.approx(10.0)
+
+    def test_lossy_equilibrium_is_stationary(self):
+        """AIMD drift against loss halving settles, and stays settled."""
+        dist = CwndDistribution(max_window=320)
+        dist.add_mass(10, 1000.0)
+        for _ in range(400):
+            dist.step(0.25, rtt=0.1, loss_rate=0.02, drift_segments_per_sec=10.0)
+        settled = dist.mean()
+        for _ in range(100):
+            dist.step(0.25, rtt=0.1, loss_rate=0.02, drift_segments_per_sec=10.0)
+        assert dist.mean() == pytest.approx(settled, rel=0.01)
+        assert 2.0 < settled < 50.0
+
+    def test_send_rate_cap_limits_loss_exposure(self):
+        """A rate-capped cohort sees loss per segment *sent*, not per
+        window — idle request/response flows keep large windows alive."""
+        bulk = CwndDistribution(max_window=320)
+        capped = CwndDistribution(max_window=320)
+        for dist in (bulk, capped):
+            dist.add_mass(150, 100.0)
+        bulk_events = bulk.step(0.25, 0.1, 0.001, 0.0)
+        capped_events = capped.step(0.25, 0.1, 0.001, 0.0, send_rate_cap=20.0)
+        # Bulk: p * w/rtt = .001 * 1500 = 1.5 events/flow/s; capped: .02.
+        assert bulk_events > capped_events * 10
+        assert capped_events == pytest.approx(100 * 0.001 * 20.0 * 0.25, rel=1e-6)
+
+    def test_total_send_rate_respects_cap(self):
+        dist = CwndDistribution(max_window=320)
+        dist.add_mass(100, 10.0)
+        uncapped = dist.total_send_segments_per_sec(0.1)
+        assert uncapped == pytest.approx(10 * 100 / 0.1)
+        capped = dist.total_send_segments_per_sec(0.1, send_rate_cap=50.0)
+        assert capped == pytest.approx(10 * 50.0)
+
+    def test_quantiles_and_samples_are_ordered(self):
+        dist = CwndDistribution(max_window=320)
+        dist.add_mass(10, 5.0)
+        dist.add_mass(50, 5.0)
+        dist.add_mass(200, 5.0)
+        samples = dist.sample_windows(9)
+        assert samples == sorted(samples)
+        assert samples[0] == 10 and samples[-1] == 200
+        assert dist.quantile(0.0) == 10
+        assert dist.quantile(1.0) == 200
+
+    def test_sample_mean_tracks_distribution_mean(self):
+        dist = CwndDistribution(max_window=320)
+        dist.add_mass(20, 400.0)
+        for _ in range(100):
+            dist.step(0.25, rtt=0.1, loss_rate=0.01, drift_segments_per_sec=8.0)
+        samples = dist.sample_windows(64)
+        sample_mean = sum(samples) / len(samples)
+        assert sample_mean == pytest.approx(dist.mean(), rel=0.1)
+
+    def test_remove_fraction(self):
+        dist = CwndDistribution(max_window=100)
+        dist.add_mass(10, 8.0)
+        assert dist.remove_fraction(0.25) == pytest.approx(2.0)
+        assert dist.flows == pytest.approx(6.0)
+        assert dist.remove_fraction(1.0) == pytest.approx(6.0)
+        assert dist.flows == 0.0
+        assert dist.sample_windows(3) == [1, 1, 1]
+
+    def test_stepping_is_bit_deterministic(self):
+        def run():
+            dist = CwndDistribution(max_window=320)
+            dist.add_mass(10, 1234.5)
+            out = []
+            for i in range(50):
+                out.append(
+                    dist.step(0.25, 0.09, 0.005, 12.0, send_rate_cap=30.0)
+                )
+            return out, list(dist._bin_mass), dist.flows
+
+        assert run() == run()
+
+
+class TestFluidPopulation:
+    def test_refill_holds_target(self):
+        pop = FluidPopulation(
+            "p", rtt=0.1, target_flows=100.0, entry_window=10,
+            churn_per_flow_per_sec=0.5,
+        )
+        for _ in range(50):
+            pop.step(0.25, loss_rate=0.0, entry_window=10)
+        assert pop.flows == pytest.approx(100.0, rel=1e-6)
+
+    def test_churn_fixed_point(self):
+        """Mean settles at entry + growth/churn (no loss)."""
+        growth, churn, entry = 5.0, 0.5, 10
+        pop = FluidPopulation(
+            "p", rtt=0.1, target_flows=1000.0, entry_window=entry,
+            max_window=320, growth_segments_per_sec=growth,
+            churn_per_flow_per_sec=churn,
+        )
+        for _ in range(1200):
+            pop.step(0.25, loss_rate=0.0, entry_window=entry)
+        assert pop.mean_window() == pytest.approx(entry + growth / churn, rel=0.05)
+
+    def test_entry_window_follows_routes(self):
+        """Raising the entry window (a Riptide install) lifts the cohort."""
+        pop = FluidPopulation(
+            "p", rtt=0.1, target_flows=100.0, entry_window=10,
+            growth_segments_per_sec=1.0, churn_per_flow_per_sec=1.0,
+        )
+        for _ in range(200):
+            pop.step(0.25, loss_rate=0.0, entry_window=10)
+        before = pop.mean_window()
+        for _ in range(200):
+            pop.step(0.25, loss_rate=0.0, entry_window=100)
+        assert pop.mean_window() > before + 50
+
+    def test_counters_accumulate(self):
+        pop = FluidPopulation(
+            "p", rtt=0.1, target_flows=10.0, entry_window=10,
+        )
+        pop.step(0.25, loss_rate=0.01, entry_window=10)
+        first = (pop.segments_sent_total, pop.segments_retx_total,
+                 pop.bytes_acked_total)
+        assert all(v > 0 for v in first)
+        pop.step(0.25, loss_rate=0.01, entry_window=10)
+        assert pop.segments_sent_total > first[0]
+        assert pop.segments_retx_total > first[1]
+        assert pop.bytes_acked_total > first[2]
+
+    def test_offered_bps_matches_window_footprint(self):
+        pop = FluidPopulation(
+            "p", rtt=0.1, target_flows=10.0, entry_window=20, mss=1460,
+        )
+        expected = 10 * 20 * 1460 * 8 / 0.1
+        assert pop.offered_bps() == pytest.approx(expected)
+
+    def test_send_cap_bounds_offered_bps(self):
+        pop = FluidPopulation(
+            "p", rtt=0.1, target_flows=10.0, entry_window=20, mss=1460,
+            send_segments_per_flow_per_sec=5.0,
+        )
+        assert pop.offered_bps() == pytest.approx(10 * 5.0 * 1460 * 8)
+
+    def test_sample_ages_exponential_mid_quantiles(self):
+        pop = FluidPopulation(
+            "p", rtt=0.1, target_flows=10.0, entry_window=10,
+            churn_per_flow_per_sec=0.5, created_at=0.0,
+        )
+        ages = pop.sample_ages(4, now=1000.0)
+        expected = [-math.log(1.0 - (i + 0.5) / 4) / 0.5 for i in range(4)]
+        assert ages == pytest.approx(expected)
+        # Without churn every flow is as old as the population.
+        eternal = FluidPopulation(
+            "q", rtt=0.1, target_flows=10.0, entry_window=10, created_at=40.0,
+        )
+        assert eternal.sample_ages(3, now=100.0) == [60.0] * 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rtt": 0.0},
+            {"target_flows": 0.0},
+            {"churn_per_flow_per_sec": -1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        defaults = dict(
+            name="p", rtt=0.1, target_flows=10.0, entry_window=10
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            FluidPopulation(**defaults)
