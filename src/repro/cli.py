@@ -7,6 +7,8 @@
     python -m repro run fig10 --fast     # reduced-scale simulation run
     python -m repro run fig10 --workers 4  # fan the sweep across processes
     python -m repro run --faults chaos_partition  # paired chaos study
+    python -m repro run --list           # runnable experiments + worker/fault surface
+    python -m repro tournament --workers 4  # policy zoo x scenarios leaderboard
     python -m repro faults               # list chaos scenarios + timelines
     python -m repro describe fig12_14    # what an experiment reproduces
     python -m repro metrics fig10        # run + print the metric table
@@ -79,6 +81,13 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="e.g. fig03, table2, fig12_14 (omit when using --faults)",
+    )
+    run_parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="list runnable experiments with their worker support and "
+        "fault-scenario pairing, then exit",
     )
     run_parser.add_argument(
         "--faults",
@@ -189,6 +198,50 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list the rule codes and what they check, then exit",
+    )
+
+    tournament_parser = subparsers.add_parser(
+        "tournament",
+        help="race the window-policy zoo across scenarios; emit a leaderboard",
+    )
+    tournament_parser.add_argument(
+        "--policies",
+        nargs="*",
+        metavar="POLICY",
+        default=None,
+        help="policies to race (default: the full zoo)",
+    )
+    tournament_parser.add_argument(
+        "--scenarios",
+        nargs="*",
+        metavar="SCENARIO",
+        default=None,
+        help="scenario columns (default: the full matrix)",
+    )
+    tournament_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the matrix cells across N worker processes "
+        "(the leaderboard is byte-identical to serial)",
+    )
+    tournament_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced clock per cell (shorter warmup and probing)",
+    )
+    tournament_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the leaderboard artifact JSON to PATH",
+    )
+    tournament_parser.add_argument(
+        "--markdown",
+        metavar="PATH",
+        default=None,
+        help="write the leaderboard as markdown to PATH",
     )
 
     faults_parser = subparsers.add_parser(
@@ -316,7 +369,13 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_list() -> int:
     for exp in list_experiments():
         kind = "simulation" if exp.simulation_backed else "model"
-        print(f"{exp.experiment_id:<10} [{kind:<10}] {exp.description}")
+        extras = []
+        if exp.supports_workers:
+            extras.append("workers")
+        if exp.fault_scenario is not None:
+            extras.append(f"faults:{exp.fault_scenario}")
+        tag = f" ({', '.join(extras)})" if extras else ""
+        print(f"{exp.experiment_id:<18} [{kind:<10}] {exp.description}{tag}")
     return 0
 
 
@@ -362,7 +421,43 @@ def _fast_kwargs(experiment_id: str) -> dict[str, object]:
         from repro.experiments.chaos import ChaosStudyConfig
 
         return {"config": ChaosStudyConfig(warmup=8.0, duration=30.0)}
+    if experiment_id == "tournament":
+        return {"config": _fast_tournament_config()}
     return dict(_FAST_OVERRIDES.get(experiment_id, {}))
+
+
+def _fast_tournament_config(
+    policies: tuple[str, ...] = (), scenarios: tuple[str, ...] = ()
+):
+    """The reduced-clock tournament config (``--fast``)."""
+    from repro.experiments.tournament import TournamentConfig
+
+    return TournamentConfig(
+        policies=policies,
+        scenarios=scenarios,
+        warmup=3.0,
+        duration=10.0,
+        probe_interval=2.0,
+    )
+
+
+def _cmd_run_list() -> int:
+    """``run --list``: runnable experiments with their run-time surface."""
+    print(f"{'experiment':<18} {'kind':<10} {'workers':<8} fault scenario")
+    for exp in list_experiments():
+        kind = "simulation" if exp.simulation_backed else "model"
+        workers = "yes" if exp.supports_workers else "no"
+        faults = exp.fault_scenario if exp.fault_scenario is not None else "-"
+        print(f"{exp.experiment_id:<18} {kind:<10} {workers:<8} {faults}")
+    print(
+        "\nworkers: accepts --workers N (independent simulation arms; "
+        "results identical to serial)"
+    )
+    print(
+        "fault scenario: the chaos schedule the experiment runs under "
+        "(see `repro faults`)"
+    )
+    return 0
 
 
 def _cmd_run(experiment_id: str, fast: bool, workers: int = 1) -> int:
@@ -407,6 +502,53 @@ def _cmd_run_faults(scenario_name: str, fast: bool, workers: int) -> int:
     elapsed = time.perf_counter() - started
     print(result.report())
     print(f"\n[{scenario.name} completed in {elapsed:.1f}s]")
+    return 0
+
+
+def _cmd_tournament(
+    policies: list[str] | None,
+    scenarios: list[str] | None,
+    workers: int,
+    fast: bool,
+    out_path: str | None,
+    markdown_path: str | None,
+) -> int:
+    """Race the policy zoo; print and optionally write the leaderboard."""
+    from repro.experiments.tournament import TournamentConfig, run_tournament
+
+    selected_policies = tuple(policies) if policies else ()
+    selected_scenarios = tuple(scenarios) if scenarios else ()
+    if fast:
+        config = _fast_tournament_config(selected_policies, selected_scenarios)
+    else:
+        config = TournamentConfig(
+            policies=selected_policies, scenarios=selected_scenarios
+        )
+    try:
+        cell_count = len(config.resolved_policies()) * len(
+            config.resolved_scenarios()
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"running the policy tournament ({cell_count} cells; "
+        "this takes a while)...",
+        file=sys.stderr,
+    )
+    started = time.perf_counter()
+    result = run_tournament(config, workers=workers)
+    elapsed = time.perf_counter() - started
+    print(result.to_markdown(), end="")
+    print(f"\n[tournament completed in {elapsed:.1f}s]", file=sys.stderr)
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"leaderboard artifact written to {out_path}", file=sys.stderr)
+    if markdown_path is not None:
+        with open(markdown_path, "w", encoding="utf-8") as handle:
+            handle.write(result.to_markdown())
+        print(f"leaderboard markdown written to {markdown_path}", file=sys.stderr)
     return 0
 
 
@@ -699,8 +841,19 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "describe":
         return _cmd_describe(args.experiment_id)
+    if args.command == "tournament":
+        return _cmd_tournament(
+            args.policies,
+            args.scenarios,
+            args.workers,
+            args.fast,
+            args.out,
+            args.markdown,
+        )
     if args.command == "run":
         try:
+            if args.list_experiments:
+                return _cmd_run_list()
             if args.faults is not None:
                 if args.experiment_id is not None:
                     print(

@@ -47,9 +47,16 @@ class AdvisoryController:
         now: float,
         reason: str = "",
     ) -> Advisory:
-        """Register a conservatism advisory for ``duration`` seconds."""
+        """Register a conservatism advisory for ``duration`` seconds.
+
+        Expired advisories are pruned as a side effect: a controller
+        that only ever calls ``advise()`` (never ``scale_at``, e.g. on
+        an agent whose poll loop is stopped) must not accumulate dead
+        entries without bound.
+        """
         if duration <= 0:
             raise ValueError(f"duration must be positive, got {duration}")
+        self._advisories = [a for a in self._advisories if a.active(now)]
         advisory = Advisory(scale=scale, until=now + duration, reason=reason)
         self._advisories.append(advisory)
         return advisory

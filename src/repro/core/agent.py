@@ -26,17 +26,17 @@ from collections.abc import Callable, MutableSequence
 from typing import TYPE_CHECKING
 
 from repro.core.advisory import Advisory, AdvisoryController
-from repro.core.combiners import Observation, make_combiner
+from repro.core.combiners import Observation
 from repro.core.config import RiptideConfig
 from repro.core.granularity import DestinationGrouper
 from repro.core.guard import PathHealth, SafetyGuard
-from repro.core.history import make_history_policy
 from repro.core.observed import LearnedTable
 from repro.core.trend import TrendDetector
 from repro.linux.errors import ToolError
 from repro.linux.host import Host
 from repro.net.addresses import Prefix
 from repro.obs.span import Span
+from repro.policy import EwmaPolicy, WindowPolicy, finalize_window, make_policy
 from repro.obs.trace import EventType
 from repro.sim.process import PeriodicProcess
 
@@ -78,22 +78,12 @@ class RiptideAgent:
     ) -> None:
         self.host = host
         self.config = config if config is not None else RiptideConfig()
-        self._combiner = make_combiner(self.config.combiner)
-        self._history = make_history_policy(
-            self.config.history, self.config.alpha, self.config.history_window
-        )
+        self._policy: WindowPolicy = make_policy(self.config.policy, self.config)
         self._grouper = DestinationGrouper(
             self.config.granularity, self.config.prefix_length
         )
         self._learned = LearnedTable(self.config.ttl)
         self._advisories = AdvisoryController()
-        self._trend: TrendDetector | None = None
-        if self.config.trend_detection:
-            self._trend = TrendDetector(
-                drop_threshold=self.config.trend_drop_threshold,
-                penalty=self.config.trend_penalty,
-                hold=self.config.trend_hold,
-            )
         self._guard: SafetyGuard | None = None
         if self.config.safety_guard:
             self._guard = SafetyGuard(
@@ -139,6 +129,9 @@ class RiptideAgent:
         self._m_tool_retries = metrics.counter("riptide_tool_retries")
         self._m_guard_trips = metrics.counter("riptide_guard_trips")
         self._m_crashes = metrics.counter("riptide_crashes")
+        self._m_policy_decisions = metrics.counter(
+            "riptide_policy_decisions", policy=self._policy.name
+        )
         self._g_learned = metrics.gauge("riptide_learned_entries", host=host.name)
         self._h_poll_cost = metrics.histogram("riptide_poll_cost")
 
@@ -159,7 +152,7 @@ class RiptideAgent:
     def stop(self, remove_routes: bool = True) -> None:
         """Stop polling; optionally withdraw all installed routes.
 
-        With ``remove_routes`` the learned table, history and trend state
+        With ``remove_routes`` the learned table and the policy's state
         are cleared along with the routes: a stopped agent no longer has
         anything installed, so remembering the old windows would make a
         restarted agent skip reinstalling them (the learned table would
@@ -181,10 +174,7 @@ class RiptideAgent:
                         window=entry.window,
                         reason="stop",
                     )
-                if self._trend is not None:
-                    self._trend.forget(entry.destination)
-            for destination in list(self._history.tracked_keys()):
-                self._history.forget(destination)
+            self._policy.reset()
             self._learned.clear()
             if self._guard is not None:
                 self._guard.reset()
@@ -216,14 +206,7 @@ class RiptideAgent:
             was_running=was_running,
         )
         self._learned.clear()
-        for destination in list(self._history.tracked_keys()):
-            self._history.forget(destination)
-        if self._trend is not None:
-            self._trend = TrendDetector(
-                drop_threshold=self.config.trend_drop_threshold,
-                penalty=self.config.trend_penalty,
-                hold=self.config.trend_hold,
-            )
+        self._policy.reset()
         self._advisories = AdvisoryController()
         self._last_advisory_scale = 1.0
         if self._guard is not None:
@@ -267,8 +250,13 @@ class RiptideAgent:
         self.auditor = auditor
 
     @property
+    def window_policy(self) -> WindowPolicy:
+        return self._policy
+
+    @property
     def trend_detector(self) -> TrendDetector | None:
-        return self._trend
+        policy = self._policy
+        return policy.trend if isinstance(policy, EwmaPolicy) else None
 
     @property
     def safety_guard(self) -> SafetyGuard | None:
@@ -360,20 +348,13 @@ class RiptideAgent:
                     # Tripped earlier this hold: the destination stays at
                     # the kernel default; no learning until release.
                     continue
-            candidate = self._combiner.combine(observations)
-            final = self._history.update(destination, candidate)
-            if self._trend is not None:
-                final *= self._trend.observe(destination, candidate, now)
-            if final > self.config.c_max:
+            final = self._policy.decide(destination, observations, now)
+            window, bound = finalize_window(self.config, final, advisory_scale)
+            if bound == "c_max":
                 self._m_clamp_max.inc()
-            elif final < self.config.c_min:
+            elif bound == "c_min":
                 self._m_clamp_min.inc()
-            window = self.config.clamp(final)
-            if advisory_scale < 1.0:
-                # Advisories scale the *installed* window so an operator
-                # halving windows actually halves them even when the raw
-                # value sits above c_max.
-                window = max(self.config.c_min, round(window * advisory_scale))
+            self._m_policy_decisions.inc()
             self._install(destination, window, now)
         self._expire(now)
         self._g_learned.set(len(self._learned))
@@ -426,7 +407,11 @@ class RiptideAgent:
         for info in snapshots:
             key = self._grouper.key_for(info.remote_address)
             grouped.setdefault(key, []).append(
-                Observation(cwnd=info.cwnd, bytes_acked=info.bytes_acked)
+                Observation(
+                    cwnd=info.cwnd,
+                    bytes_acked=info.bytes_acked,
+                    srtt=info.srtt,
+                )
             )
             if track_health:
                 entry = health.get(key)
@@ -577,9 +562,7 @@ class RiptideAgent:
         self.stats.guard_trips += 1
         self._m_guard_trips.inc()
         entry = self._learned.remove(destination)
-        self._history.forget(destination)
-        if self._trend is not None:
-            self._trend.forget(destination)
+        self._policy.on_guard_trip(destination, reason, now)
         self._trace.record(
             now,
             EventType.GUARD_TRIPPED,
@@ -633,9 +616,7 @@ class RiptideAgent:
     def _expire(self, now: float) -> None:
         for entry in self._learned.pop_expired(now):
             self._withdraw(entry.destination)
-            self._history.forget(entry.destination)
-            if self._trend is not None:
-                self._trend.forget(entry.destination)
+            self._policy.forget(entry.destination)
             if self._guard is not None:
                 self._guard.forget(entry.destination)
             self.stats.routes_expired += 1

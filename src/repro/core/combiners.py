@@ -26,12 +26,17 @@ class Observation:
 
     cwnd: int
     bytes_acked: int = 0
+    #: Smoothed RTT of the connection, when the snapshot carried one.
+    #: Combiners ignore it; RTT-aware policies (``repro.policy``) read it.
+    srtt: float | None = None
 
     def __post_init__(self) -> None:
         if self.cwnd < 1:
             raise ValueError(f"cwnd must be >= 1, got {self.cwnd}")
         if self.bytes_acked < 0:
             raise ValueError(f"bytes_acked must be >= 0, got {self.bytes_acked}")
+        if self.srtt is not None and self.srtt < 0:
+            raise ValueError(f"srtt must be >= 0, got {self.srtt}")
 
 
 class Combiner(ABC):

@@ -16,6 +16,21 @@ from dataclasses import dataclass
 VALID_COMBINERS = ("average", "max", "traffic_weighted")
 VALID_HISTORY = ("ewma", "windowed", "none")
 VALID_GRANULARITY = ("host", "prefix")
+#: Window-decision policies (the zoo in ``repro.policy``).  Duplicated
+#: from ``repro.policy.registry`` — importing it here would be a cycle;
+#: a test pins the two lists together.
+VALID_POLICIES = (
+    "ewma",
+    "hostclass",
+    "iw10",
+    "iw16",
+    "iw32",
+    "iw46",
+    "p75",
+    "p90",
+    "rtt_cmax",
+    "tunable",
+)
 
 
 @dataclass(frozen=True)
@@ -32,6 +47,8 @@ class RiptideConfig:
     c_max: int = 100
     #: Window clamp (Table I c_min; the Linux default of 10).
     c_min: int = 10
+    #: Window-decision policy (``repro.policy``); "ewma" is the paper's.
+    policy: str = "ewma"
     #: How simultaneous observations to one destination are combined.
     combiner: str = "average"
     #: How new values fold into per-destination history.
@@ -91,6 +108,11 @@ class RiptideConfig:
         if self.c_max < self.c_min:
             raise ValueError(
                 f"c_max ({self.c_max}) must be >= c_min ({self.c_min})"
+            )
+        if self.policy not in VALID_POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected one of "
+                f"{', '.join(VALID_POLICIES)}"
             )
         if self.combiner not in VALID_COMBINERS:
             raise ValueError(

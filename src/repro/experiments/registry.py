@@ -21,6 +21,7 @@ from repro.experiments import (
     fig15_16_percentile_gain,
     hybrid,
     table2_pops,
+    tournament,
 )
 
 
@@ -36,6 +37,9 @@ class Experiment:
     #: independent simulations out across a process pool
     #: (:mod:`repro.parallel`).
     supports_workers: bool = False
+    #: Chaos scenario this experiment pairs with (``repro faults``), when
+    #: its simulation runs under an injected fault schedule.
+    fault_scenario: str | None = None
 
 
 EXPERIMENTS: dict[str, Experiment] = {
@@ -135,6 +139,7 @@ EXPERIMENTS: dict[str, Experiment] = {
             chaos.run_lossy_agent,
             simulation_backed=True,
             supports_workers=True,
+            fault_scenario="chaos_lossy_agent",
         ),
         Experiment(
             "chaos_partition",
@@ -142,11 +147,20 @@ EXPERIMENTS: dict[str, Experiment] = {
             chaos.run_partition,
             simulation_backed=True,
             supports_workers=True,
+            fault_scenario="chaos_partition",
         ),
         Experiment(
             "chaos_flaky_tools",
             "Chaos: failing ip route, stale/partial ss, poll jitter",
             chaos.run_flaky_tools,
+            simulation_backed=True,
+            supports_workers=True,
+            fault_scenario="chaos_flaky_tools",
+        ),
+        Experiment(
+            "tournament",
+            "Policy zoo tournament: every window policy x every scenario",
+            tournament.run,
             simulation_backed=True,
             supports_workers=True,
         ),

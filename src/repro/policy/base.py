@@ -1,0 +1,85 @@
+"""The window-decision protocol behind :class:`RiptideAgent`.
+
+Riptide's contribution is one *policy* for choosing initial congestion
+windows; the agent's poll/install machinery (``ss`` polling, route
+programming, TTL sweep, safety guard) is policy-agnostic.  This module
+extracts the decision step of Algorithm 1 behind a small protocol so
+the same agent can run the paper's EWMA learner or any competitor from
+the zoo (:mod:`repro.policy.zoo`, :mod:`repro.policy.learners`,
+:mod:`repro.policy.tunable`).
+
+A policy sees exactly what the agent's decision step saw before the
+refactor: the destination key, this tick's grouped observations, and
+the simulation clock.  It returns the *raw* (pre-clamp) window; the
+agent clamps to ``[c_min, c_max]`` and applies advisory scaling via
+:func:`finalize_window` so every policy inherits the paper's safety
+rails identically.
+
+Lifecycle hooks mirror the agent's route lifecycle: :meth:`~WindowPolicy.
+forget` on TTL expiry, :meth:`~WindowPolicy.on_guard_trip` when the
+safety guard reverts a destination, :meth:`~WindowPolicy.reset` on
+agent stop/crash.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.core.combiners import Observation
+from repro.net.addresses import Prefix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.config import RiptideConfig
+
+
+class WindowPolicy(ABC):
+    """One strategy for choosing a destination's initial window."""
+
+    #: Registry name; also the ``policy`` label on decision metrics.
+    name = "abstract"
+
+    @abstractmethod
+    def decide(
+        self, destination: Prefix, samples: list[Observation], now: float
+    ) -> float:
+        """Return the raw window for ``destination`` given this tick's
+        observations.  ``samples`` is non-empty; the caller clamps."""
+
+    def forget(self, destination: Prefix) -> None:
+        """Drop all state for ``destination`` (route TTL expiry)."""
+
+    def on_guard_trip(self, destination: Prefix, reason: str, now: float) -> None:
+        """The safety guard reverted ``destination`` to the kernel
+        default.  The default reaction matches the pre-refactor agent:
+        forget the destination so relearning starts from scratch."""
+        self.forget(destination)
+
+    def reset(self) -> None:
+        """Drop all state (agent stop with route removal, or crash)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name}>"
+
+
+def finalize_window(
+    config: "RiptideConfig", final: float, advisory_scale: float
+) -> tuple[int, str | None]:
+    """Clamp a policy's raw window and apply advisory scaling.
+
+    Returns ``(window, bound)`` where ``bound`` names the clamp bound
+    the raw value violated (``"c_min"``/``"c_max"``) or ``None``.
+    Advisories scale the *clamped* window (flooring at ``c_min``) so an
+    operator halving windows actually halves them even when the raw
+    value sits above ``c_max`` — the exact arithmetic of the
+    pre-refactor ``RiptideAgent._tick``.
+    """
+    bound: str | None = None
+    if final > config.c_max:
+        bound = "c_max"
+    elif final < config.c_min:
+        bound = "c_min"
+    window = config.clamp(final)
+    if advisory_scale < 1.0:
+        window = max(config.c_min, round(window * advisory_scale))
+    return window, bound

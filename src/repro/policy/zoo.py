@@ -1,0 +1,64 @@
+"""Static competitor policies from production CDN measurements.
+
+Rüth & Hohlfeld (*Demystifying TCP Initial Window Configurations of
+CDNs*) scanned the major CDNs and found them running fixed initial
+windows well above the IW10 default — IW16, IW32 and IW46 tiers — with
+several providers differentiating by *host class*: edge caches get an
+aggressive window while origin-facing hosts stay conservative.  These
+policies reproduce that competitor field: no learning, no history, the
+same window every tick.
+
+They still ride the full agent machinery — routes, TTL, safety guard —
+so the tournament compares *decision policies*, not deployment
+mechanics.
+"""
+
+from __future__ import annotations
+
+from repro.core.combiners import Observation
+from repro.net.addresses import Prefix
+from repro.policy.base import WindowPolicy
+
+
+class StaticPolicy(WindowPolicy):
+    """A fixed initial window regardless of observations (IW*n*)."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"static window must be >= 1, got {window}")
+        self.window = window
+        self.name = f"iw{window}"
+
+    def decide(
+        self, destination: Prefix, samples: list[Observation], now: float
+    ) -> float:
+        return float(self.window)
+
+
+#: Host classes and their windows: edge caches run hot, origin-facing
+#: hosts stay conservative (the Rüth & Hohlfeld host-class split).
+HOST_CLASS_WINDOWS = {"edge": 46, "origin": 16}
+
+
+class HostClassStaticPolicy(WindowPolicy):
+    """Host-class-dependent static IW (edge vs origin).
+
+    The measurement study can read a CDN's provisioning database; the
+    reproduction cannot, so destinations are classified by a stable
+    deterministic rule on the prefix — the second octet's parity.  This
+    is a modelling stand-in: it yields a fixed, seed-independent split
+    of the address plan into the two classes, which is all the
+    tournament needs from the policy.
+    """
+
+    name = "hostclass"
+
+    def decide(
+        self, destination: Prefix, samples: list[Observation], now: float
+    ) -> float:
+        return float(HOST_CLASS_WINDOWS[self.classify(destination)])
+
+    @staticmethod
+    def classify(destination: Prefix) -> str:
+        second_octet = (destination.network.value >> 16) & 0xFF
+        return "edge" if second_octet % 2 == 0 else "origin"

@@ -521,3 +521,41 @@ def test_obs001_without_project_root_is_silent(tmp_path):
     module = tmp_path / "emitters.py"
     module.write_text("def wire(m):\n    m.counter('whatever')\n")
     assert codes(run_lint([str(module)], select=["OBS001"])) == []
+
+
+# -- coverage pins: repro.policy is linted like the core ------------------
+
+
+def test_no_rule_exempts_repro_policy():
+    """``repro.policy`` must stay inside every rule's coverage.
+
+    The zoo makes window decisions and emits metrics, so it is held to
+    the same determinism/observability bar as ``repro.core``.
+    """
+    from repro.analysis.lint import ALL_RULES
+
+    for rule_cls in ALL_RULES:
+        rule = rule_cls()
+        assert rule.applies_to("repro.policy")
+        assert rule.applies_to("repro.policy.zoo")
+
+
+def test_obs001_and_det002_fire_inside_repro_policy(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "ARCHITECTURE.md").write_text(DOC_TEMPLATE.format(extra_metric=""))
+    module = tmp_path / "repro" / "policy" / "custom.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(
+        textwrap.dedent(
+            """
+            def wire(metrics, sim, hosts):
+                metrics.counter("rogue_policy_metric")
+                for host in set(hosts):
+                    sim.schedule(1.0, host.poll)
+            """
+        )
+    )
+    result = run_lint([str(module)], select=["OBS001", "DET002"])
+    assert sorted(codes(result)) == ["DET002", "OBS001"]

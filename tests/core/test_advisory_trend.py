@@ -50,6 +50,24 @@ class TestAdvisoryController:
         with pytest.raises(ValueError):
             AdvisoryController().advise(scale=0.5, duration=0.0, now=0.0)
 
+    def test_advise_prunes_expired_entries(self):
+        # A controller that only ever receives advisories must not grow
+        # without bound: each advise() call drops already-expired entries.
+        controller = AdvisoryController()
+        for i in range(100):
+            controller.advise(scale=0.5, duration=1.0, now=float(i * 10))
+        assert len(controller.active_advisories(990.5)) == 1
+        assert len(controller._advisories) == 1
+
+    def test_advise_keeps_live_entries(self):
+        controller = AdvisoryController()
+        controller.advise(scale=0.8, duration=100.0, now=0.0)
+        controller.advise(scale=0.4, duration=1.0, now=50.0)
+        controller.advise(scale=0.6, duration=100.0, now=60.0)
+        # The short advisory expired at t=51; the long ones survive.
+        assert len(controller._advisories) == 2
+        assert controller.scale_at(70.0) == 0.6
+
 
 class TestTrendDetector:
     def test_steady_values_no_penalty(self):

@@ -12,7 +12,7 @@ class TestRegistry:
             "fig10", "fig11", "fig12_14", "fig15_16", "edge_cases",
             "ext_diurnal", "ext_advisory",
             "chaos_lossy_agent", "chaos_partition", "chaos_flaky_tools",
-            "hybrid",
+            "hybrid", "tournament",
         }
         assert set(EXPERIMENTS) == expected
 
