@@ -12,6 +12,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
 from collections.abc import Iterable, Mapping, Sequence
 
 from repro.analysis.cdf import EmpiricalCdf
@@ -100,6 +101,86 @@ def metrics_to_json(
     return json.dumps(payload, indent=2)
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: Iterable[tuple[str, str]]) -> str:
+    pairs = [f'{key}="{_prom_escape(value)}"' for key, value in labels]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _prom_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def metrics_to_prometheus(
+    registry: MetricsRegistry,
+    percentiles: Iterable[float] = DEFAULT_PERCENTILES,
+) -> str:
+    """One registry in the Prometheus text exposition format.
+
+    Counters and gauges export their current value; histograms export as
+    summaries (one ``quantile``-labelled sample per percentile plus
+    ``_sum``/``_count``).  The ``_sum`` line is recomputed from the
+    sorted sample list with :func:`math.fsum`, so it is byte-identical
+    between a serial run and any merge order of parallel worker
+    registries (the registry's incremental sum can differ in the last
+    ulp across merge orders).  Families and series are emitted in sorted
+    order — the output is a deterministic artifact, suitable for byte
+    comparison in CI.
+    """
+    levels = tuple(percentiles)
+    lines: list[str] = []
+    counters = registry.counters()
+    if counters:
+        seen: set[str] = set()
+        for counter in counters:
+            if counter.name not in seen:
+                seen.add(counter.name)
+                lines.append(f"# TYPE {counter.name} counter")
+            lines.append(
+                f"{counter.name}{_prom_labels(counter.labels)} {counter.value}"
+            )
+    seen_gauges: set[str] = set()
+    for gauge in registry.gauges():
+        if gauge.name not in seen_gauges:
+            seen_gauges.add(gauge.name)
+            lines.append(f"# TYPE {gauge.name} gauge")
+        lines.append(
+            f"{gauge.name}{_prom_labels(gauge.labels)} {_prom_value(gauge.value)}"
+        )
+    seen_summaries: set[str] = set()
+    for histogram in registry.histograms():
+        if histogram.name not in seen_summaries:
+            seen_summaries.add(histogram.name)
+            lines.append(f"# TYPE {histogram.name} summary")
+        labels = tuple(histogram.labels)
+        if histogram.count:
+            for level in levels:
+                quantile = _prom_value(level / 100.0)
+                quantile_labels = _prom_labels(
+                    (*labels, ("quantile", quantile))
+                )
+                lines.append(
+                    f"{histogram.name}{quantile_labels} "
+                    f"{_prom_value(histogram.percentile(level))}"
+                )
+        total = math.fsum(histogram.values())
+        lines.append(
+            f"{histogram.name}_sum{_prom_labels(labels)} {_prom_value(total)}"
+        )
+        lines.append(
+            f"{histogram.name}_count{_prom_labels(labels)} {histogram.count}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 def trace_to_json(log: TraceLog) -> str:
     """A trace log's totals and retained events as a JSON document."""
     payload = {
@@ -135,21 +216,37 @@ def trace_to_csv(log: TraceLog) -> str:
     return rows_to_csv(("time", "type", "source", "details"), rows)
 
 
-def flows_to_jsonl(flows: FlowLog) -> str:
+def flows_to_jsonl(
+    flows: FlowLog,
+    since: float | None = None,
+    until: float | None = None,
+) -> str:
     """Flow records as JSON Lines (one compact object per connection)."""
+    records = flows.records(since=since, until=until)
     return "\n".join(
         json.dumps(record.to_dict(), separators=(",", ":"))
-        for record in flows.records()
-    ) + ("\n" if len(flows) else "")
+        for record in records
+    ) + ("\n" if records else "")
 
 
-def flows_to_json(flows: FlowLog) -> str:
-    """Flow records plus log-level counts as one JSON document."""
+def flows_to_json(
+    flows: FlowLog,
+    since: float | None = None,
+    until: float | None = None,
+) -> str:
+    """Flow records plus log-level counts as one JSON document.
+
+    ``recorded``/``retained``/``dropped`` always describe the whole log;
+    ``selected`` and the record list reflect the ``since``/``until``
+    sim-time window when one is given.
+    """
+    records = flows.records(since=since, until=until)
     payload = {
         "recorded": flows.next_id,
         "retained": len(flows),
         "dropped": flows.dropped,
-        "flows": [record.to_dict() for record in flows.records()],
+        "selected": len(records),
+        "flows": [record.to_dict() for record in records],
     }
     return json.dumps(payload, indent=2)
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.cdn.filesizes import FileSizeDistribution
 from repro.cdn.fluidtraffic import FluidTraffic
-from repro.cdn.monitors import CwndSampler, TimelineSampler
+from repro.cdn.monitors import CwndSampler, SloEvaluator, TimelineSampler
 from repro.cdn.pop import PoP
 from repro.cdn.probes import ProbeFleet
 from repro.cdn.topology import Topology
@@ -25,6 +25,7 @@ from repro.net.addresses import IPv4Address
 from repro.net.loss import BernoulliLoss, LossModel, NoLoss
 from repro.net.network import Network, PathSpec
 from repro.obs import Auditor, Instrumentation
+from repro.obs.slo import BurnRateRule, SloEngine, SloSpec
 from repro.sim.fluid import FluidConfig
 from repro.sim.kernel import Simulator
 from repro.sim.rand import RandomStreams
@@ -335,13 +336,48 @@ class CdnCluster:
             self.sim, hosts, interval=interval, created_after=created_after
         )
 
-    def start_timeline_sampler(self, interval: float = 2.0) -> "TimelineSampler | None":
-        """Start the Figure 7/8 timeline sampler (no-op when obs is off)."""
+    def start_timeline_sampler(
+        self, interval: float | None = None
+    ) -> "TimelineSampler | None":
+        """Start the Figure 7/8 timeline sampler (no-op when obs is off).
+
+        The cadence defaults to ``riptide.timeline_sample_interval`` so
+        experiments align sampling and SLO windows from one config knob.
+        """
         if not self.sim.obs.enabled:
             return None
         sampler = TimelineSampler(self, interval=interval)
         sampler.start(initial_delay=0.0)
         return sampler
+
+    def start_slo(
+        self,
+        specs: "tuple[SloSpec, ...] | None" = None,
+        rules: "tuple[BurnRateRule, ...] | None" = None,
+        interval: float | None = None,
+    ) -> "SloEvaluator | None":
+        """Start the burn-rate SLO engine (no-op when obs is off).
+
+        Builds an :class:`~repro.obs.slo.SloEngine` over this run's
+        windowed store, scoped to this cluster's arm label, and evaluates
+        it on the timeline-sampler cadence (overridable via ``interval``).
+        """
+        if not self.sim.obs.enabled:
+            return None
+        obs = self.sim.obs
+        engine = SloEngine(
+            obs.tsdb,
+            obs.metrics,
+            obs.trace,
+            obs.spans,
+            obs.alerts,
+            specs=specs,
+            rules=rules,
+            arm=self.config.label,
+        )
+        evaluator = SloEvaluator(self, engine, interval=interval)
+        evaluator.start(initial_delay=0.0)
+        return evaluator
 
     def sync_flows(self) -> None:
         """Flush live socket counters into their flow records.

@@ -9,7 +9,14 @@ connections that were created after Riptide was started."
 agent's learned windows and installed-route count (plus the cluster-wide
 active-fault gauge) into the run's :class:`~repro.obs.timeline.Timeline`
 on a sim-time cadence, giving the report and the CSV export a
-windows-over-time view.
+windows-over-time view.  It also feeds the windowed time-series store
+(:mod:`repro.obs.tsdb`) with the SLO engine's sampler-side signals
+(per-agent route staleness, cluster fault count), arm-qualified so a
+serial two-arm capture never mixes arms.
+
+:class:`SloEvaluator` drives :class:`~repro.obs.slo.SloEngine` on the
+same deterministic cadence.  Both are read-only: enabling them never
+perturbs protocol behaviour or the seeded random streams.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.linux.host import Host
+from repro.obs.slo import SloEngine
 from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicProcess
 
@@ -108,10 +116,15 @@ class TimelineSampler:
     seeded random streams — the per-run results stay identical.
     """
 
-    def __init__(self, cluster: "CdnCluster", interval: float = 2.0) -> None:
+    def __init__(self, cluster: "CdnCluster", interval: float | None = None) -> None:
+        if interval is None:
+            interval = cluster.config.riptide.timeline_sample_interval
         self._cluster = cluster
         self._sim = cluster.sim
         self._timeline = cluster.sim.obs.timeline
+        self._tsdb = cluster.sim.obs.tsdb
+        label = cluster.config.label
+        self._cluster_source = f"{label}:cluster" if label else "cluster"
         self._g_faults = cluster.sim.obs.metrics.gauge("faults_active")
         self._process = PeriodicProcess(
             cluster.sim, interval, self._sample, name="timeline-sampler"
@@ -130,7 +143,9 @@ class TimelineSampler:
     def _sample(self) -> None:
         now = self._sim.now
         timeline = self._timeline
+        tsdb = self._tsdb
         timeline.record(now, "cluster", "faults_active", self._g_faults.value)
+        tsdb.record(now, self._cluster_source, "faults_active", self._g_faults.value)
         fluid = self._cluster.fluid
         if fluid is not None:
             timeline.record(now, "cluster", "fluid_flows_open", fluid.total_flows())
@@ -144,16 +159,65 @@ class TimelineSampler:
                 agent.learned_table().entries(),
                 key=lambda entry: str(entry.destination),
             )
+            # Route staleness: seconds since the least-recently refreshed
+            # learned entry was updated (0 with an empty table) — the
+            # "route_staleness" SLO's signal.
+            staleness = 0.0
             for entry in entries:
+                staleness = max(staleness, now - entry.updated_at)
                 timeline.record(
                     now,
                     host.name,
                     f"learned_cwnd:{entry.destination}",
                     float(entry.window),
                 )
+            tsdb.record(now, host.name, "route_staleness", staleness)
 
     def __repr__(self) -> str:
         return (
             f"<TimelineSampler hosts={len(self._cluster.all_hosts())} "
             f"running={self.running}>"
+        )
+
+
+class SloEvaluator:
+    """Drives an :class:`~repro.obs.slo.SloEngine` on a sim-time cadence.
+
+    A read-only companion to :class:`TimelineSampler`: every ``interval``
+    simulated seconds it asks the engine to re-derive burn rates from the
+    windowed store and walk the alert lifecycle.  Protocol behaviour and
+    the seeded random streams are untouched.
+    """
+
+    def __init__(
+        self,
+        cluster: "CdnCluster",
+        engine: SloEngine,
+        interval: float | None = None,
+    ) -> None:
+        if interval is None:
+            interval = cluster.config.riptide.timeline_sample_interval
+        self._sim = cluster.sim
+        self.engine = engine
+        self._process = PeriodicProcess(
+            cluster.sim, interval, self._evaluate, name="slo-evaluator"
+        )
+
+    @property
+    def running(self) -> bool:
+        return self._process.running
+
+    def start(self, initial_delay: float | None = None) -> None:
+        self._process.start(initial_delay=initial_delay)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _evaluate(self) -> None:
+        self.engine.evaluate(self._sim.now)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SloEvaluator running={self.running} "
+            f"specs={len(self.engine.specs)} rules={len(self.engine.rules)}>"
         )

@@ -174,6 +174,9 @@ class ProbeFleet:
         self._m_failed = self._metrics.counter("probe_failures")
         self._obs_on = sim.obs.enabled
         self._spans = sim.obs.spans
+        self._tsdb = sim.obs.tsdb
+        #: Arm-qualified tsdb source for the probe_latency SLO signal.
+        self._tsdb_source = f"{arm}:probes" if arm else "probes"
 
     @property
     def sizes(self) -> tuple[int, ...]:
@@ -258,6 +261,15 @@ class ProbeFleet:
         def on_complete(result: TransferResult) -> None:
             if result.completed:
                 histogram.observe(result.total_time, t=result.completed_at)
+                if self._obs_on:
+                    # SLO tap: fleet-wide completion latency, windowed by
+                    # the probe_latency_p90 signal.
+                    self._tsdb.record(
+                        result.completed_at,
+                        self._tsdb_source,
+                        "probe_latency",
+                        result.total_time,
+                    )
             else:
                 self._m_failed.inc()
             if span is not None:

@@ -12,9 +12,13 @@
     python -m repro faults               # list chaos scenarios + timelines
     python -m repro describe fig12_14    # what an experiment reproduces
     python -m repro metrics fig10        # run + print the metric table
+    python -m repro metrics fig10 --prom # Prometheus text exposition instead
     python -m repro flows fig12_14       # run + print per-connection flow records
+    python -m repro flows fig12_14 --since 10 --until 40  # sim-time window
     python -m repro report chaos_lossy_agent  # tail-latency attribution report
-    python -m repro bench                # perf baseline -> BENCH_004.json
+    python -m repro alerts chaos_lossy_agent --check  # SLO burn-rate alerts
+    python -m repro watch chaos_lossy_agent   # replay the run as live frames
+    python -m repro bench                # perf baseline -> BENCH_005.json
     python -m repro bench --smoke --guard  # CI: fail on kernel regression
     python -m repro lint src/            # determinism/sim-invariant analyzer
 
@@ -27,8 +31,13 @@ records, lifecycle spans and the tail-latency attribution built from
 them (:mod:`repro.obs.report`).  Experiments may be named by id
 (``fig10``) or by harness module name (``fig10_cmax_sweep``).
 
-``flows`` and ``report`` accept ``--workers``; the worker captures merge
-deterministically, so their output is byte-identical to a serial run.
+``alerts`` evaluates the burn-rate SLO engine's episode log into a
+report artifact (``--check`` additionally enforces the scenario's
+expected-alert contracts), and ``watch`` replays the captured stores as
+operator dashboard frames.  ``metrics``, ``flows``, ``report``,
+``alerts`` and ``watch`` accept ``--workers``; the worker captures
+merge deterministically, so their output is byte-identical to a serial
+run.
 """
 
 from __future__ import annotations
@@ -118,7 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         metavar="PATH",
-        help="output JSON path (default: BENCH_004.json)",
+        help="output JSON path (default: BENCH_005.json)",
     )
     bench_parser.add_argument(
         "--workers",
@@ -144,7 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="prior bench artifact to compute ratios against "
-        "(default: BENCH_003.json when present)",
+        "(default: BENCH_004.json when present)",
     )
     bench_parser.add_argument(
         "--guard",
@@ -275,9 +284,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reduced-scale run (smaller topology / fewer samples)",
     )
     metrics_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent simulation arms across N worker processes "
+        "(output is byte-identical to serial)",
+    )
+    metrics_parser.add_argument(
         "--json",
         action="store_true",
         help="emit metrics and trace as JSON instead of tables",
+    )
+    metrics_parser.add_argument(
+        "--prom",
+        action="store_true",
+        help="emit the registry in the Prometheus text exposition format "
+        "(histograms as summaries; deterministic, byte-comparable)",
     )
     metrics_parser.add_argument(
         "--csv",
@@ -320,6 +343,20 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the flow records to PATH as JSON Lines",
     )
+    flows_parser.add_argument(
+        "--since",
+        type=float,
+        default=None,
+        metavar="T",
+        help="only flows alive at or after sim-time T seconds",
+    )
+    flows_parser.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        metavar="T",
+        help="only flows opened at or before sim-time T seconds",
+    )
 
     report_parser = subparsers.add_parser(
         "report",
@@ -361,6 +398,103 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeline-csv",
         metavar="PATH",
         help="also write the sampled time series to PATH as CSV",
+    )
+    report_parser.add_argument(
+        "--since",
+        type=float,
+        default=None,
+        metavar="T",
+        help="attribute only probes overlapping sim-time >= T seconds",
+    )
+    report_parser.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        metavar="T",
+        help="attribute only probes overlapping sim-time <= T seconds",
+    )
+
+    alerts_parser = subparsers.add_parser(
+        "alerts",
+        help="run an experiment and print its SLO burn-rate alert report",
+    )
+    alerts_parser.add_argument(
+        "experiment_id", help="e.g. chaos_lossy_agent or fig12_14"
+    )
+    alerts_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced-scale run (smaller topology / fewer samples)",
+    )
+    alerts_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent simulation arms across N worker processes "
+        "(output is byte-identical to serial)",
+    )
+    alerts_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the alert report as JSON instead of markdown",
+    )
+    alerts_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the alert report JSON to PATH",
+    )
+    alerts_parser.add_argument(
+        "--markdown",
+        metavar="PATH",
+        help="also write the alert report as markdown to PATH",
+    )
+    alerts_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the experiment's expected-alert contracts "
+        "(exit 1 when an expected alert never fired/resolved)",
+    )
+
+    watch_parser = subparsers.add_parser(
+        "watch",
+        help="run an experiment and replay it as live operator frames",
+    )
+    watch_parser.add_argument(
+        "experiment_id", help="e.g. chaos_lossy_agent or fig12_14"
+    )
+    watch_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced-scale run (smaller topology / fewer samples)",
+    )
+    watch_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent simulation arms across N worker processes "
+        "(the frames are byte-identical to serial)",
+    )
+    watch_parser.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="frame width in sim seconds (default: the SLO window, 5)",
+    )
+    watch_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the frames as JSON instead of the watch transcript",
+    )
+    watch_parser.add_argument(
+        "--speed",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="replay pacing: sleep interval/R wall seconds between frames "
+        "(0, the default, prints everything at once)",
     )
 
     return parser
@@ -658,7 +792,9 @@ def _warn_trace_truncation(instrumentation) -> None:
 def _cmd_metrics(
     experiment_id: str,
     fast: bool,
+    workers: int,
     as_json: bool,
+    as_prom: bool,
     csv_path: str | None,
     trace_csv_path: str | None,
 ) -> int:
@@ -666,8 +802,15 @@ def _cmd_metrics(
 
     from repro.analysis.export import metrics_to_csv, metrics_to_json, trace_to_json
 
-    instrumentation, elapsed = _run_captured(experiment_id, fast)
-    if as_json:
+    if as_json and as_prom:
+        print("error: give either --json or --prom, not both", file=sys.stderr)
+        return 2
+    instrumentation, elapsed = _run_captured(experiment_id, fast, workers)
+    if as_prom:
+        from repro.analysis.export import metrics_to_prometheus
+
+        print(metrics_to_prometheus(instrumentation.metrics), end="")
+    elif as_json:
         payload = {
             "experiment": experiment_id,
             "metrics": json.loads(metrics_to_json(instrumentation.metrics)),
@@ -706,6 +849,8 @@ def _cmd_flows(
     workers: int,
     as_json: bool,
     jsonl_path: str | None,
+    since: float | None = None,
+    until: float | None = None,
 ) -> int:
     from repro.analysis.export import flows_to_json, flows_to_jsonl
 
@@ -714,9 +859,9 @@ def _cmd_flows(
     )
     flows = instrumentation.flows
     if as_json:
-        print(flows_to_json(flows))
+        print(flows_to_json(flows, since=since, until=until))
     else:
-        records = flows.records()
+        records = flows.records(since=since, until=until)
         closed = sum(1 for r in records if r.closed_at is not None)
         by_source: dict[str, int] = {}
         by_state: dict[str, int] = {}
@@ -728,6 +873,12 @@ def _cmd_flows(
             f"recorded: {flows.next_id}  retained: {len(flows)}  "
             f"dropped: {flows.dropped}"
         )
+        if since is not None or until is not None:
+            print(
+                f"window [{since if since is not None else 'start'}, "
+                f"{until if until is not None else 'end'}]s: "
+                f"{len(records)} flows"
+            )
         print(f"closed: {closed}  open: {len(records) - closed}")
         print(
             "initial cwnd source: "
@@ -741,7 +892,7 @@ def _cmd_flows(
     _warn_trace_truncation(instrumentation)
     if jsonl_path is not None:
         with open(jsonl_path, "w", encoding="utf-8") as handle:
-            handle.write(flows_to_jsonl(flows))
+            handle.write(flows_to_jsonl(flows, since=since, until=until))
         print(f"flow records written to {jsonl_path}", file=sys.stderr)
     return 0
 
@@ -754,6 +905,8 @@ def _cmd_report(
     out_path: str | None,
     spans_path: str | None,
     timeline_csv_path: str | None,
+    since: float | None = None,
+    until: float | None = None,
 ) -> int:
     from repro.analysis.export import (
         spans_to_chrome_json,
@@ -765,7 +918,9 @@ def _cmd_report(
     instrumentation, elapsed = _run_captured(
         experiment_id, fast, workers, what="report"
     )
-    report = build_report(instrumentation, experiment=experiment_id)
+    report = build_report(
+        instrumentation, experiment=experiment_id, since=since, until=until
+    )
     if as_json:
         print(report_to_json(report))
     else:
@@ -784,6 +939,123 @@ def _cmd_report(
     if timeline_csv_path is not None:
         write_csv(timeline_csv_path, timeline_to_csv(instrumentation.timeline))
         print(f"timeline CSV written to {timeline_csv_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_alerts(
+    experiment_id: str,
+    fast: bool,
+    workers: int,
+    as_json: bool,
+    out_path: str | None,
+    markdown_path: str | None,
+    check: bool,
+) -> int:
+    from repro.obs.slo import (
+        alert_report_to_json,
+        alert_report_to_markdown,
+        build_alert_report,
+        source_matches_arm,
+    )
+
+    instrumentation, elapsed = _run_captured(
+        experiment_id, fast, workers, what="alert"
+    )
+    report = build_alert_report(
+        instrumentation.alerts, experiment=experiment_id
+    )
+    if as_json:
+        print(alert_report_to_json(report), end="")
+    else:
+        print(alert_report_to_markdown(report), end="")
+        print(f"\n[{experiment_id} completed in {elapsed:.1f}s]", file=sys.stderr)
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(alert_report_to_json(report))
+        print(f"alert report JSON written to {out_path}", file=sys.stderr)
+    if markdown_path is not None:
+        with open(markdown_path, "w", encoding="utf-8") as handle:
+            handle.write(alert_report_to_markdown(report))
+        print(f"alert report markdown written to {markdown_path}", file=sys.stderr)
+    if not check:
+        return 0
+
+    from repro.experiments.chaos import check_expected_alert
+    from repro.faults import get_scenario
+
+    exp = get_experiment(experiment_id)
+    if exp.fault_scenario is None:
+        print(
+            f"error: --check needs an experiment with a fault scenario; "
+            f"{experiment_id} has none",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = get_scenario(exp.fault_scenario)
+    if not scenario.expected_alerts:
+        print(
+            f"alert check: scenario {scenario.name} declares no expected "
+            "alerts; nothing to enforce",
+            file=sys.stderr,
+        )
+        return 0
+    episodes = instrumentation.alerts.episodes()
+    failures = 0
+    for expectation in scenario.expected_alerts:
+        arm_episodes = tuple(
+            episode
+            for episode in episodes
+            if source_matches_arm(episode.source, expectation.arm)
+        )
+        ok, detail = check_expected_alert(expectation, arm_episodes)
+        verdict = "ok" if ok else "FAILED"
+        print(
+            f"alert check [{expectation.arm}]: {detail} -- {verdict}",
+            file=sys.stderr,
+        )
+        if not ok:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_watch(
+    experiment_id: str,
+    fast: bool,
+    workers: int,
+    interval: float | None,
+    as_json: bool,
+    speed: float,
+) -> int:
+    from repro.analysis.watch import (
+        build_watch_frames,
+        render_frame,
+        render_watch,
+        watch_frames_to_json,
+    )
+    from repro.obs.slo import DEFAULT_SLO_WINDOW
+
+    width = interval if interval is not None else DEFAULT_SLO_WINDOW
+    if width <= 0.0:
+        print(f"error: --interval must be > 0, got {width:g}", file=sys.stderr)
+        return 2
+    if speed < 0.0:
+        print(f"error: --speed must be >= 0, got {speed:g}", file=sys.stderr)
+        return 2
+    instrumentation, elapsed = _run_captured(
+        experiment_id, fast, workers, what="watch"
+    )
+    frames = build_watch_frames(instrumentation, interval=width)
+    if as_json:
+        print(watch_frames_to_json(frames, experiment=experiment_id))
+    elif speed > 0.0:
+        # Paced replay: identical frame lines, wall-clock spacing only.
+        print(f"== watch: {experiment_id} ({len(frames)} frames) ==")
+        for frame in frames:
+            print(render_frame(frame), flush=True)
+            time.sleep(width / speed)
+    else:
+        print(render_watch(frames, experiment=experiment_id))
+    print(f"\n[{experiment_id} completed in {elapsed:.1f}s]", file=sys.stderr)
     return 0
 
 
@@ -899,9 +1171,38 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_metrics(
                 _normalize_experiment_id(args.experiment_id),
                 args.fast,
+                args.workers,
                 args.json,
+                args.prom,
                 args.csv,
                 args.trace_csv,
+            )
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.command == "alerts":
+        try:
+            return _cmd_alerts(
+                _normalize_experiment_id(args.experiment_id),
+                args.fast,
+                args.workers,
+                args.json,
+                args.out,
+                args.markdown,
+                args.check,
+            )
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.command == "watch":
+        try:
+            return _cmd_watch(
+                _normalize_experiment_id(args.experiment_id),
+                args.fast,
+                args.workers,
+                args.interval,
+                args.json,
+                args.speed,
             )
         except KeyError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -914,6 +1215,8 @@ def main(argv: list[str] | None = None) -> int:
                 args.workers,
                 args.json,
                 args.jsonl,
+                args.since,
+                args.until,
             )
         except KeyError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -928,6 +1231,8 @@ def main(argv: list[str] | None = None) -> int:
                 args.out,
                 args.spans,
                 args.timeline_csv,
+                args.since,
+                args.until,
             )
         except KeyError as error:
             print(f"error: {error}", file=sys.stderr)

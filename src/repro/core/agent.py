@@ -112,6 +112,10 @@ class RiptideAgent:
         self._trace = obs.trace
         self._obs_on = obs.enabled
         self._spans = obs.spans
+        self._tsdb = obs.tsdb
+        #: Per-destination (sent, retransmitted) cumulative baselines for
+        #: the SLO tap — deltas per tick feed the windowed store.
+        self._tap_prev: dict[Prefix, tuple[int, int]] = {}
         #: Open guard-hold spans by destination (begun at trip, ended at
         #: release/crash/stop) and the span of the poll tick in progress.
         self._guard_spans: dict[Prefix, Span] = {}
@@ -334,6 +338,8 @@ class RiptideAgent:
         routes_touched_before = self.stats.routes_installed
         grouped, health = self._observe_and_group()
         observed = sum(len(observations) for observations in grouped.values())
+        if self._obs_on and health:
+            self._tap_health(health, now)
         # Deterministic despite the dict view: ``grouped`` preserves the
         # ss-snapshot row order, which is itself a pure function of the
         # run.  Sorting here would reorder installs/trace emission and
@@ -372,6 +378,36 @@ class RiptideAgent:
                 installed=self.stats.routes_installed - routes_touched_before,
             )
             self._poll_span = None
+
+    def _tap_health(self, health: dict[Prefix, PathHealth], now: float) -> None:
+        """Feed per-destination traffic deltas to the windowed store.
+
+        The SLO engine's ``retransmit_ratio`` signal: per poll tick, the
+        change in cumulative segments sent/retransmitted toward each
+        destination.  Socket churn can shrink the cumulative totals (a
+        closed connection leaves the snapshot); such ticks only re-baseline
+        — the same reset the SafetyGuard applies.  Read-only: recording
+        never perturbs protocol behaviour or the seeded streams.
+        """
+        host_name = self.host.name
+        # Snapshot-row order, a pure function of the run (see the decide
+        # loop above for why sorting would be churn, not correctness).
+        for destination, path in health.items():  # lint: ignore[DET002]
+            sent = path.segments_sent
+            retransmitted = path.segments_retransmitted
+            previous = self._tap_prev.get(destination)
+            self._tap_prev[destination] = (sent, retransmitted)
+            if previous is None:
+                continue
+            delta_sent = sent - previous[0]
+            delta_rexmit = retransmitted - previous[1]
+            if delta_sent < 0 or delta_rexmit < 0:
+                continue
+            source = f"{host_name}|{destination}"
+            self._tsdb.record(now, source, "dest_segments_sent", float(delta_sent))
+            self._tsdb.record(
+                now, source, "dest_segments_retransmitted", float(delta_rexmit)
+            )
 
     def _observe_and_group(
         self,
@@ -561,6 +597,10 @@ class RiptideAgent:
         assert self._guard is not None
         self.stats.guard_trips += 1
         self._m_guard_trips.inc()
+        if self._obs_on:
+            # SLO tap: one withdrawal event sample, summed per window by
+            # the guard_withdrawal_rate signal.
+            self._tsdb.record(now, self.host.name, "guard_trips", 1.0)
         entry = self._learned.remove(destination)
         self._policy.on_guard_trip(destination, reason, now)
         self._trace.record(

@@ -93,6 +93,10 @@ class RiptideConfig:
     guard_min_segments: int = 20
     #: Seconds a tripped destination stays at the kernel default.
     guard_hold: float = 30.0
+    #: Observability: seconds between :class:`~repro.cdn.monitors.
+    #: TimelineSampler` snapshots (and the default SLO evaluation
+    #: cadence), so SLO windows and sampling align per-experiment.
+    timeline_sample_interval: float = 2.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha < 1.0:
@@ -175,6 +179,11 @@ class RiptideConfig:
         if self.guard_hold <= 0:
             raise ValueError(
                 f"guard_hold must be positive, got {self.guard_hold}"
+            )
+        if self.timeline_sample_interval <= 0:
+            raise ValueError(
+                f"timeline_sample_interval must be positive, got "
+                f"{self.timeline_sample_interval}"
             )
 
     def clamp(self, window: float) -> int:

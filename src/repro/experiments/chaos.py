@@ -27,7 +27,8 @@ from repro.cdn.probes import ProbeFleet, ProbeResultSet
 from repro.core.config import RiptideConfig
 from repro.experiments.scenarios import sub_topology
 from repro.faults.engine import FaultInjector
-from repro.faults.scenarios import ChaosScenario, get_scenario
+from repro.faults.scenarios import ChaosScenario, ExpectedAlert, get_scenario
+from repro.obs.slo import AlertEpisode, source_matches_arm
 from repro.tcp.constants import TcpConfig
 
 #: Fractional slack on the median verdict: "matches" means within this.
@@ -74,7 +75,16 @@ class ChaosArmRun:
     def summary(self) -> "ChaosArmSummary":
         """Detach the picklable measurements from the live cluster."""
         agents = self.cluster.all_agents()
+        # Only this arm's alert episodes: a serial run captures both arms
+        # into one shared log, so filter by the arm-qualified source.
+        label = self.cluster.config.label
+        alerts = tuple(
+            episode
+            for episode in self.cluster.sim.obs.alerts.episodes()
+            if source_matches_arm(episode.source, label)
+        )
         return ChaosArmSummary(
+            alerts=alerts,
             fleet=self.fleet.result_set(),
             riptide_enabled=self.riptide_enabled,
             faults_injected=self.injector.injected,
@@ -106,6 +116,8 @@ class ChaosArmSummary:
     tool_retries: int
     learned_routes: int
     events_processed: int
+    #: This arm's SLO alert episodes (begin order, arm-filtered).
+    alerts: tuple[AlertEpisode, ...] = ()
 
 
 ChaosArm = ChaosArmRun | ChaosArmSummary
@@ -114,6 +126,24 @@ ChaosArm = ChaosArmRun | ChaosArmSummary
 def _arm_counters(arm: ChaosArm) -> "ChaosArmSummary":
     """Both arm flavours viewed as a summary (live arms are detached)."""
     return arm if isinstance(arm, ChaosArmSummary) else arm.summary()
+
+
+def check_expected_alert(
+    expectation: ExpectedAlert, episodes: tuple[AlertEpisode, ...]
+) -> tuple[bool, str]:
+    """Judge one expected-alert contract against one arm's episodes."""
+    mine = [e for e in episodes if e.slo == expectation.slo]
+    fired = [e for e in mine if e.fired]
+    resolved = [e for e in mine if e.resolved]
+    if expectation.must_fire and not fired:
+        return False, f"{expectation.slo}: expected to fire, never did"
+    if expectation.must_resolve and not resolved:
+        return False, f"{expectation.slo}: fired but never resolved"
+    detail = (
+        f"{expectation.slo}: fired {len(fired)} episode(s), "
+        f"resolved {len(resolved)}"
+    )
+    return True, detail
 
 
 def run_chaos_arm(
@@ -154,6 +184,7 @@ def run_chaos_arm(
         churn_probability=config.probe_churn,
     )
     cluster.start_timeline_sampler()
+    cluster.start_slo()
     fleet.start(initial_delay=0.0)
     injector = FaultInjector(cluster, scenario.build(config.duration))
     injector.arm()
@@ -204,6 +235,25 @@ class ChaosStudyResult:
             return True
         return gain >= -VERDICT_TOLERANCE
 
+    def _arm_alerts(self, arm_label: str) -> tuple[AlertEpisode, ...]:
+        arm = self.riptide if arm_label == "riptide" else self.control
+        return _arm_counters(arm).alerts
+
+    def alert_assertion_results(self) -> list[tuple[ExpectedAlert, bool, str]]:
+        """Each scenario expectation judged against the matching arm."""
+        results = []
+        for expectation in self.scenario.expected_alerts:
+            ok, detail = check_expected_alert(
+                expectation, self._arm_alerts(expectation.arm)
+            )
+            results.append((expectation, ok, detail))
+        return results
+
+    @property
+    def alerts_ok(self) -> bool:
+        """True when every expected-alert contract held."""
+        return all(ok for _, ok, _ in self.alert_assertion_results())
+
     def report(self) -> str:
         from repro.analysis.tables import format_table
 
@@ -249,15 +299,31 @@ class ChaosStudyResult:
             f"{riptide.tool_errors}  tool retries: {riptide.tool_retries}  "
             f"learned routes: {riptide.learned_routes}"
         )
+        alert_lines = [
+            f"SLO alerts (control arm): fired "
+            f"{sum(1 for e in control.alerts if e.fired)}, resolved "
+            f"{sum(1 for e in control.alerts if e.resolved)}",
+            f"SLO alerts (riptide arm): fired "
+            f"{sum(1 for e in riptide.alerts if e.fired)}, resolved "
+            f"{sum(1 for e in riptide.alerts if e.resolved)}",
+        ]
+        for expectation, ok, detail in self.alert_assertion_results():
+            status = "ok" if ok else "FAILED"
+            alert_lines.append(
+                f"  expected [{expectation.arm}] {detail} -- {status}"
+            )
+        alerts_text = "\n".join(alert_lines)
         verdict = (
             "PASS: Riptide beats/matches the IW10 control under faults"
             if self.riptide_holds_up
             else "FAIL: Riptide is slower than the IW10 control under faults"
         )
+        if self.scenario.expected_alerts and not self.alerts_ok:
+            verdict += "; FAIL: expected SLO alerts did not materialise"
         return (
             f"{table}\n\nfault timeline ({self.duration:g}s of probing):\n"
             f"{timeline}\n\nriptide-arm resilience counters:\n{counters}\n"
-            f"\nverdict: {verdict}"
+            f"\n{alerts_text}\n\nverdict: {verdict}"
         )
 
 

@@ -7,7 +7,9 @@ deterministic cluster under every scenario — the clean network, the
 three chaos scenarios (with their fault schedules), and a hybrid cell
 with mean-field background traffic — and every cell is judged with the
 tail-latency attribution report (:mod:`repro.obs.report`): p50/p90
-probe completion time, the slow-probe cause mix and guard withdrawals.
+probe completion time, the slow-probe cause mix and guard withdrawals,
+plus the burn-rate SLO engine's violation count (episodes that reached
+firing, :mod:`repro.obs.slo`).
 
 Cells are independent simulations, so the matrix fans out across the
 parallel runner; every cell computes its measurements from its own
@@ -198,6 +200,7 @@ def run_tournament_cell(
             churn_probability=config.probe_churn,
         )
         cluster.start_timeline_sampler()
+        cluster.start_slo()
         fleet.start(initial_delay=0.0)
         faults_injected = 0
         faults_cleared = 0
@@ -243,6 +246,11 @@ def run_tournament_cell(
         "faults_injected": faults_injected,
         "faults_cleared": faults_cleared,
         "events_processed": events_processed,
+        # Burn-rate SLO judgement: episodes that reached firing in this
+        # cell's capture (the cell owns exactly one cluster, so the whole
+        # alert log is its own).
+        "slo_violations": instrumentation.alerts.fired_count,
+        "slo_resolved": instrumentation.alerts.resolved_count,
         **agent_counters,
     }
 
@@ -287,6 +295,7 @@ def build_leaderboard(
                     "new_p50_ms": cell["new_p50_ms"],
                     "p90_ms": cell["p90_ms"],
                     "guard_trips": cell["guard_trips"],
+                    "slo_violations": cell.get("slo_violations", 0),
                 }
             )
         scenario_tables[scenario] = table
@@ -372,14 +381,15 @@ class TournamentResult:
             lines.append("")
             lines.append(
                 "| rank | policy | new-conn p90 (ms) | new-conn p50 (ms) | "
-                "all p90 (ms) | guard trips |"
+                "all p90 (ms) | guard trips | SLO violations |"
             )
-            lines.append("|---|---|---|---|---|---|")
+            lines.append("|---|---|---|---|---|---|---|")
             for row in self.leaderboard["scenarios"][scenario]:
                 lines.append(
                     f"| {row['rank']} | {row['policy']} | "
                     f"{fmt(row['new_p90_ms'])} | {fmt(row['new_p50_ms'])} | "
-                    f"{fmt(row['p90_ms'])} | {row['guard_trips']} |"
+                    f"{fmt(row['p90_ms'])} | {row['guard_trips']} | "
+                    f"{row.get('slo_violations', 0)} |"
                 )
         lines.append("")
         lines.append(

@@ -29,6 +29,23 @@ from repro.faults.spec import (
 
 
 @dataclass(frozen=True)
+class ExpectedAlert:
+    """One SLO alert a chaos scenario is contractually expected to raise.
+
+    The expectation is against the burn-rate engine's alert log for one
+    arm: ``must_fire`` requires at least one episode of the named SLO to
+    reach firing; ``must_resolve`` additionally requires at least one
+    fired episode to resolve before the run ends (the recovery half of
+    the story — e.g. the guard hold quenching a retransmit storm).
+    """
+
+    slo: str
+    must_fire: bool = True
+    must_resolve: bool = False
+    arm: str = "riptide"
+
+
+@dataclass(frozen=True)
 class ChaosScenario:
     """One named chaos recipe."""
 
@@ -42,6 +59,9 @@ class ChaosScenario:
     target_pop: str
     #: duration (seconds of probing) -> schedule, times relative to arm.
     build: Callable[[float], FaultSchedule]
+    #: SLO alerts the scenario must raise (checked by the chaos harness
+    #: and the ``repro alerts --check`` CI gate).
+    expected_alerts: tuple[ExpectedAlert, ...] = ()
 
     def describe(self, duration: float) -> str:
         """The scenario's fault timeline for a given run length."""
@@ -171,6 +191,15 @@ CHAOS_SCENARIOS: dict[str, ChaosScenario] = {
             source_pop="LHR",
             target_pop="JFK",
             build=_lossy_agent_schedule,
+            # The storm must burn the retransmit budget (and the guard's
+            # withdrawals must register), and both must resolve once the
+            # storm clears and the hold quenches the path.
+            expected_alerts=(
+                ExpectedAlert("retransmit_ratio", must_fire=True, must_resolve=True),
+                ExpectedAlert(
+                    "guard_withdrawal_rate", must_fire=True, must_resolve=True
+                ),
+            ),
         ),
         ChaosScenario(
             name="chaos_partition",

@@ -181,8 +181,15 @@ class FlowLog:
         host: str | None = None,
         is_client: bool | None = None,
         open_only: bool = False,
+        since: float | None = None,
+        until: float | None = None,
     ) -> list[FlowRecord]:
-        """Retained records, optionally filtered."""
+        """Retained records, optionally filtered.
+
+        ``since``/``until`` select flows whose lifetime overlaps the
+        closed sim-time window ``[since, until]``; a still-open flow
+        extends to the end of the run.
+        """
         selected = []
         for record in self._records:
             if host is not None and record.host != host:
@@ -190,6 +197,14 @@ class FlowLog:
             if is_client is not None and record.is_client != is_client:
                 continue
             if open_only and record.closed_at is not None:
+                continue
+            if until is not None and record.opened_at > until:
+                continue
+            if (
+                since is not None
+                and record.closed_at is not None
+                and record.closed_at < since
+            ):
                 continue
             selected.append(record)
         return selected

@@ -33,13 +33,15 @@ from collections.abc import Iterator
 
 from repro.obs.flow import FlowLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import AlertLog
 from repro.obs.span import SpanLog
 from repro.obs.timeline import Timeline
 from repro.obs.trace import TraceLog
+from repro.obs.tsdb import WindowedStore
 
 
 class Instrumentation:
-    """The metrics, traces, flows, spans and timeline of one run."""
+    """The metrics, traces, flows, spans, timeline and tsdb of one run."""
 
     def __init__(
         self,
@@ -48,12 +50,16 @@ class Instrumentation:
         flow_capacity: int = 100_000,
         span_capacity: int = 200_000,
         timeline_capacity: int = 200_000,
+        tsdb_capacity: int = 500_000,
+        alert_capacity: int = 50_000,
     ) -> None:
         self.metrics = MetricsRegistry()
         self.trace = TraceLog(capacity=trace_capacity)
         self.flows = FlowLog(capacity=flow_capacity)
         self.spans = SpanLog(capacity=span_capacity)
         self.timeline = Timeline(capacity=timeline_capacity)
+        self.tsdb = WindowedStore(capacity=tsdb_capacity)
+        self.alerts = AlertLog(capacity=alert_capacity)
         #: When False, components skip instrumentation on their hot paths.
         #: The registry still works (handles can be created and read) so
         #: nothing needs to special-case a disabled run.
@@ -73,6 +79,8 @@ class Instrumentation:
         self.flows.merge_from(other.flows)
         self.spans.merge_from(other.spans)
         self.timeline.merge_from(other.timeline)
+        self.tsdb.merge_from(other.tsdb)
+        self.alerts.merge_from(other.alerts)
 
     def __repr__(self) -> str:
         state = "" if self.enabled else " disabled"

@@ -41,6 +41,7 @@ from typing import Any
 from repro.net.addresses import AddressError, Prefix
 from repro.obs.flow import FlowRecord
 from repro.obs.instrument import Instrumentation
+from repro.obs.slo import AlertEpisode, source_matches_arm
 from repro.obs.span import Span
 from repro.obs.trace import EventType, TraceEvent
 
@@ -85,13 +86,24 @@ def _overlaps(span: Span, begin: float, end: float) -> bool:
 
 
 def build_report(
-    instrumentation: Instrumentation, experiment: str = ""
+    instrumentation: Instrumentation,
+    experiment: str = "",
+    since: float | None = None,
+    until: float | None = None,
 ) -> dict[str, Any]:
-    """Join probe spans, flow records and traces into the attribution report."""
+    """Join probe spans, flow records and traces into the attribution report.
+
+    ``since``/``until`` restrict the attribution to probes whose span
+    overlaps the closed sim-time window ``[since, until]`` — the tail
+    thresholds, cause counts and slow-probe list are all computed over
+    the window's probes only.  Store-level counts (flows/trace/timeline/
+    alerts) always describe the whole run.
+    """
     spans = instrumentation.spans
     flows = instrumentation.flows
     trace = instrumentation.trace
     timeline = instrumentation.timeline
+    alerts = instrumentation.alerts
 
     probe_spans = spans.spans(category="probe")
     guard_spans = spans.spans(category="guard")
@@ -100,7 +112,10 @@ def build_report(
     completed = [
         span
         for span in probe_spans
-        if span.end is not None and span.detail("completed") is True
+        if span.end is not None
+        and span.detail("completed") is True
+        and (until is None or span.begin <= until)
+        and (since is None or span.end >= since)
     ]
     failed = sum(
         1
@@ -145,6 +160,7 @@ def build_report(
         }
         slow_by_arm[arm] = slow
 
+    fired_episodes = alerts.episodes(fired_only=True)
     cause_counts = {cause: 0 for cause in ATTRIBUTION_CAUSES}
     slow_probes: list[dict[str, Any]] = []
     for arm in arms:
@@ -156,6 +172,7 @@ def build_report(
                 guard_spans,
                 fault_spans,
                 loss_events,
+                fired_episodes,
             )
             cause_counts[entry["cause"]] += 1
             slow_probes.append(entry)
@@ -167,7 +184,7 @@ def build_report(
     for record in flows.records():
         by_source[record.cwnd_source] = by_source.get(record.cwnd_source, 0) + 1
 
-    return {
+    report: dict[str, Any] = {
         "experiment": experiment,
         "probes": {
             "total": len(probe_spans),
@@ -197,7 +214,17 @@ def build_report(
             "dropped": timeline.dropped,
             "series": len(timeline.series_names()),
         },
+        "alerts": {
+            "recorded": alerts.next_id,
+            "retained": len(alerts),
+            "dropped": alerts.dropped,
+            "fired": alerts.fired_count,
+            "resolved": alerts.resolved_count,
+        },
     }
+    if since is not None or until is not None:
+        report["window"] = {"since": since, "until": until}
+    return report
 
 
 def _attribute(
@@ -207,6 +234,7 @@ def _attribute(
     guard_spans: list[Span],
     fault_spans: list[Span],
     loss_events: list[TraceEvent],
+    fired_episodes: list[AlertEpisode],
 ) -> dict[str, Any]:
     begin, end = span.begin, span.end
     client = str(span.detail("client", ""))
@@ -269,6 +297,22 @@ def _attribute(
         "cwnd_source": str(span.detail("cwnd_source", "default")),
         "cause": cause,
         "evidence": evidence,
+        # Cross-link: SLO alerts firing in this probe's arm while it ran.
+        # An episode's firing interval is [firing_at, resolved_at] (open
+        # to the end of the run when never resolved).
+        "alerts_active": [
+            {
+                "alert_id": episode.alert_id,
+                "slo": episode.slo,
+                "severity": episode.severity,
+                "source": episode.source,
+            }
+            for episode in fired_episodes
+            if source_matches_arm(episode.source, arm)
+            and episode.firing_at is not None
+            and episode.firing_at <= end
+            and (episode.resolved_at is None or episode.resolved_at >= begin)
+        ],
     }
     if server_flow is not None:
         entry["server_flow_id"] = server_flow.flow_id
@@ -362,6 +406,15 @@ def render_report(report: dict[str, Any]) -> str:
     lines: list[str] = []
     title = report.get("experiment") or "run"
     lines.append(f"Tail-latency attribution: {title}")
+    window = report.get("window")
+    if window is not None:
+        since = window["since"]
+        until = window["until"]
+        lines.append(
+            "window: "
+            f"[{since if since is not None else 'start'}, "
+            f"{until if until is not None else 'end'}]s sim time"
+        )
     probes = report["probes"]
     lines.append(
         f"probes: {probes['total']} issued, {probes['completed']} completed, "
@@ -381,11 +434,21 @@ def render_report(report: dict[str, Any]) -> str:
     if slow:
         lines.append("slowest attributed probes:")
         for entry in sorted(slow, key=lambda e: -e["duration"])[:10]:
+            active = entry.get("alerts_active", ())
+            alert_tag = (
+                "  [alerts: "
+                + ", ".join(
+                    f"{a['slo']}/{a['severity']}" for a in active
+                )
+                + "]"
+                if active
+                else ""
+            )
             lines.append(
                 f"  [{entry['arm'] or '-'}] {entry['src_pop']}->{entry['dst_pop']} "
                 f"{entry['size'] // 1000}KB {entry['duration'] * 1000:.0f}ms "
                 f"({'new' if entry['new_connection'] else 'reused'}, "
-                f"{entry['cwnd_source']}) -> {entry['cause']}"
+                f"{entry['cwnd_source']}) -> {entry['cause']}{alert_tag}"
             )
     flows = report["flows"]
     lines.append(
@@ -405,6 +468,13 @@ def render_report(report: dict[str, Any]) -> str:
         f"timeline: {timeline['retained']} points over "
         f"{timeline['series']} series"
     )
+    alerts = report.get("alerts")
+    if alerts is not None:
+        lines.append(
+            f"alerts: {alerts['recorded']} episodes "
+            f"({alerts['fired']} fired, {alerts['resolved']} resolved, "
+            f"{alerts['dropped']} dropped)"
+        )
     return "\n".join(lines)
 
 

@@ -63,13 +63,23 @@ class Timeline:
         self,
         series: str | None = None,
         source: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
     ) -> list[TimelinePoint]:
-        """Retained points, optionally filtered by series/source."""
+        """Retained points, optionally filtered.
+
+        ``since``/``until`` bound the sampled time, both inclusive, so a
+        point exactly on either edge is kept.
+        """
         selected = []
         for point in self._points:
             if series is not None and point.series != series:
                 continue
             if source is not None and point.source != source:
+                continue
+            if since is not None and point.time < since:
+                continue
+            if until is not None and point.time > until:
                 continue
             selected.append(point)
         return selected

@@ -38,6 +38,9 @@ class EventType(enum.Enum):
     AGENT_RESTARTED = "agent_restarted"
     GUARD_TRIPPED = "guard_tripped"
     GUARD_RELEASED = "guard_released"
+    ALERT_PENDING = "alert_pending"
+    ALERT_FIRING = "alert_firing"
+    ALERT_RESOLVED = "alert_resolved"
 
 
 @dataclass(frozen=True)

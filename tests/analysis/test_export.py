@@ -114,6 +114,41 @@ class TestObsExports:
         assert payload["dropped"] == 0
         assert [f["flow_id"] for f in payload["flows"]] == [0, 1]
 
+    def test_flows_json_time_window(self):
+        import json
+
+        from repro.analysis.export import flows_to_json
+        from repro.obs import FlowLog
+
+        log = FlowLog()
+        early = log.begin(
+            host="srv",
+            local="10.0.0.1",
+            local_port=8080,
+            remote="10.1.0.1",
+            remote_port=32768,
+            opened_at=1.0,
+            is_client=False,
+            initial_cwnd=10,
+            cwnd_source="default",
+        )
+        early.closed_at = 2.0
+        log.begin(
+            host="srv",
+            local="10.0.0.1",
+            local_port=8080,
+            remote="10.1.0.1",
+            remote_port=32769,
+            opened_at=10.0,
+            is_client=False,
+            initial_cwnd=10,
+            cwnd_source="default",
+        )
+        payload = json.loads(flows_to_json(log, since=5.0))
+        assert payload["recorded"] == 2
+        assert payload["selected"] == 1
+        assert [f["flow_id"] for f in payload["flows"]] == [1]
+
     def test_timeline_to_csv(self):
         from repro.analysis.export import timeline_to_csv
         from repro.obs import Timeline
@@ -123,6 +158,59 @@ class TestObsExports:
         parsed = parse(timeline_to_csv(timeline))
         assert parsed[0] == ["time", "source", "series", "value"]
         assert parsed[1] == ["2", "srv", "installed_routes", "3"]
+
+
+class TestPrometheusExposition:
+    def _registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("tcp_connections_opened").inc(3)
+        registry.counter("riptide_clamp_hits", bound="c_max").inc()
+        registry.counter("riptide_clamp_hits", bound="c_min").inc(2)
+        registry.gauge("faults_active").set(1.5)
+        histogram = registry.histogram("probe_completion_time", bucket="short")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            histogram.observe(value)
+        return registry
+
+    def test_families_typed_once_and_sorted(self):
+        from repro.analysis.export import metrics_to_prometheus
+
+        text = metrics_to_prometheus(self._registry())
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert lines.count("# TYPE riptide_clamp_hits counter") == 1
+        assert "# TYPE faults_active gauge" in lines
+        assert "# TYPE probe_completion_time summary" in lines
+        # Series sorted within the family: c_max before c_min.
+        c_max = lines.index('riptide_clamp_hits{bound="c_max"} 1')
+        c_min = lines.index('riptide_clamp_hits{bound="c_min"} 2')
+        assert c_max < c_min
+
+    def test_histogram_exports_as_summary(self):
+        from repro.analysis.export import metrics_to_prometheus
+
+        text = metrics_to_prometheus(self._registry())
+        assert 'probe_completion_time{bucket="short",quantile="0.5"} 0.3' in text
+        assert 'probe_completion_time{bucket="short",quantile="0.9"} 0.4' in text
+        assert 'probe_completion_time_sum{bucket="short"} 1' in text
+        assert 'probe_completion_time_count{bucket="short"} 4' in text
+
+    def test_label_values_escaped(self):
+        from repro.analysis.export import metrics_to_prometheus
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("odd_labels", source='a"b\\c\nd').inc()
+        text = metrics_to_prometheus(registry)
+        assert 'odd_labels{source="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_empty_registry_is_empty_output(self):
+        from repro.analysis.export import metrics_to_prometheus
+        from repro.obs.metrics import MetricsRegistry
+
+        assert metrics_to_prometheus(MetricsRegistry()) == ""
 
 
 class TestTransferTrace:

@@ -33,6 +33,8 @@ class TestValidation:
             {"history_window": 0},
             {"granularity": "asn"},
             {"prefix_length": 40},
+            {"timeline_sample_interval": 0.0},
+            {"timeline_sample_interval": -2.0},
         ],
     )
     def test_invalid_rejected(self, kwargs):
@@ -42,6 +44,7 @@ class TestValidation:
     def test_valid_variants_accepted(self):
         RiptideConfig(combiner="max", history="none", granularity="prefix")
         RiptideConfig(combiner="traffic_weighted", history="windowed")
+        assert RiptideConfig(timeline_sample_interval=0.5).timeline_sample_interval == 0.5
 
 
 class TestClamp:

@@ -125,8 +125,13 @@ class TestEndToEnd:
             assert cell["probes"]["total"] > 0
             assert cell["completed"] > 0
             assert cell["events_processed"] > 0
+            assert cell["slo_violations"] >= cell["slo_resolved"] >= 0
         ranks = [row["rank"] for row in artifact["leaderboard"]["overall"]]
         assert ranks == sorted(ranks)
+        for rows in artifact["leaderboard"]["scenarios"].values():
+            for row in rows:
+                assert "slo_violations" in row
         markdown = result.to_markdown()
         assert "| rank |" in markdown
+        assert "| SLO violations |" in markdown
         assert "python -m repro tournament" in markdown

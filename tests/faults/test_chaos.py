@@ -2,9 +2,12 @@
 
 from repro.experiments.chaos import (
     ChaosStudyConfig,
+    check_expected_alert,
     run_chaos_study,
 )
 from repro.faults import CHAOS_SCENARIOS, get_scenario, scenario_names
+from repro.faults.scenarios import ExpectedAlert
+from repro.obs.slo import AlertLog, BurnRateRule
 
 FAST = ChaosStudyConfig(warmup=8.0, duration=30.0)
 
@@ -40,6 +43,54 @@ class TestScenarioRegistry:
         assert "agent_crash" in text
 
 
+def _episodes(fired: int, resolved: int) -> tuple:
+    """Hand-built retransmit_ratio episodes: fired-only plus resolved."""
+    rule = BurnRateRule(
+        severity="page", long_window=15.0, short_window=5.0, burn_factor=2.0
+    )
+    log = AlertLog()
+    for index in range(fired):
+        episode = log.begin(1.0, "retransmit_ratio", "page", "riptide:h", rule)
+        episode.firing_at = 2.0
+        if index < resolved:
+            episode.resolved_at = 3.0
+    return tuple(log.episodes())
+
+
+class TestExpectedAlertContract:
+    def test_lossy_agent_declares_fire_and_resolve_expectations(self):
+        scenario = get_scenario("chaos_lossy_agent")
+        by_slo = {e.slo: e for e in scenario.expected_alerts}
+        assert set(by_slo) == {"retransmit_ratio", "guard_withdrawal_rate"}
+        for expectation in by_slo.values():
+            assert expectation.must_fire
+            assert expectation.must_resolve
+            assert expectation.arm == "riptide"
+
+    def test_check_passes_when_fired_and_resolved(self):
+        expectation = ExpectedAlert(slo="retransmit_ratio", must_resolve=True)
+        ok, detail = check_expected_alert(expectation, _episodes(2, 1))
+        assert ok
+        assert "fired 2 episode(s), resolved 1" in detail
+
+    def test_check_fails_when_never_fired(self):
+        expectation = ExpectedAlert(slo="retransmit_ratio")
+        ok, detail = check_expected_alert(expectation, _episodes(0, 0))
+        assert not ok
+        assert "never did" in detail
+
+    def test_check_fails_when_fired_but_unresolved(self):
+        expectation = ExpectedAlert(slo="retransmit_ratio", must_resolve=True)
+        ok, detail = check_expected_alert(expectation, _episodes(1, 0))
+        assert not ok
+        assert "never resolved" in detail
+
+    def test_check_ignores_other_slos(self):
+        expectation = ExpectedAlert(slo="route_staleness")
+        ok, _ = check_expected_alert(expectation, _episodes(3, 3))
+        assert not ok
+
+
 class TestChaosEndToEnd:
     def test_lossy_agent_scenario_riptide_holds_up(self):
         result = run_chaos_study(FAST)
@@ -57,9 +108,17 @@ class TestChaosEndToEnd:
         # The deployment-safety verdict: Riptide still at least matches
         # the IW10 control under the storm.
         assert result.riptide_holds_up
+        # The declared burn-rate alert contract holds: the loss storm
+        # fires retransmit_ratio, the guard hold resolves it, and the
+        # guard activity itself fires and resolves its own alert.
+        assert result.alerts_ok
+        for expectation, ok, detail in result.alert_assertion_results():
+            assert ok, f"{expectation.slo}: {detail}"
         report = result.report()
         assert "chaos_lossy_agent" in report
         assert "PASS" in report
+        assert "SLO alerts (riptide arm)" in report
+        assert "expected [riptide]" in report
 
     def test_same_seed_is_bit_identical(self):
         first = run_chaos_study(FAST)

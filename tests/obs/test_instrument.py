@@ -30,6 +30,28 @@ class TestCapture:
             assert Simulator(instrumentation=private).obs is private
 
 
+class TestTsdbAndAlerts:
+    def test_every_instrumentation_bundles_tsdb_and_alert_log(self):
+        instrumentation = Instrumentation()
+        assert instrumentation.tsdb.recorded == 0
+        assert len(instrumentation.alerts) == 0
+
+    def test_merge_folds_tsdb_and_alerts(self):
+        from repro.obs.slo import BurnRateRule
+
+        rule = BurnRateRule(
+            severity="page", long_window=10.0, short_window=5.0, burn_factor=1.0
+        )
+        worker = Instrumentation()
+        worker.tsdb.record(1.0, "h", "sig", 2.0)
+        worker.alerts.begin(1.0, "slo", "page", "h", rule)
+        target = Instrumentation()
+        target.alerts.begin(0.5, "slo", "page", "g", rule)
+        target.merge_from(worker)
+        assert [p.value for p in target.tsdb.points()] == [2.0]
+        assert [e.alert_id for e in target.alerts.episodes()] == [0, 1]
+
+
 class TestInstrumentedRun:
     """One end-to-end transfer populates every layer's instruments."""
 

@@ -22,6 +22,23 @@ class TestRecordAndQuery:
         assert len(timeline.points(source="a")) == 2
         assert len(timeline.points(series="y", source="b")) == 0
 
+    def test_since_until_are_inclusive(self):
+        timeline = Timeline()
+        for t in (0.0, 2.0, 4.0, 6.0):
+            timeline.record(t, "s", "x", t)
+        assert [p.time for p in timeline.points(since=2.0, until=4.0)] == [2.0, 4.0]
+        assert [p.time for p in timeline.points(since=6.0)] == [6.0]
+        assert [p.time for p in timeline.points(until=0.0)] == [0.0]
+        assert timeline.points(since=7.0) == []
+
+    def test_time_filters_compose_with_series_and_source(self):
+        timeline = Timeline()
+        timeline.record(1.0, "a", "x", 1.0)
+        timeline.record(3.0, "a", "x", 2.0)
+        timeline.record(3.0, "b", "x", 3.0)
+        points = timeline.points(series="x", source="a", since=2.0)
+        assert [p.value for p in points] == [2.0]
+
     def test_series_names_are_sorted_pairs(self):
         timeline = Timeline()
         timeline.record(0.0, "b", "x", 1.0)
@@ -56,6 +73,17 @@ class TestCapacityAndMerge:
         assert target.points() == serial.points()
         assert target.recorded == serial.recorded
         assert target.dropped == serial.dropped
+
+    def test_dropped_counter_survives_merge_overflow(self):
+        source = Timeline(capacity=4)
+        for i in range(4):
+            source.record(float(i), "s", "x", i)
+        target = Timeline(capacity=2)
+        target.record(10.0, "s", "x", 10)
+        target.merge_from(source)
+        assert len(target) == 2
+        assert target.recorded == 5
+        assert target.dropped == 3
 
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):

@@ -34,6 +34,10 @@ class TestBenchPayload:
         assert sweep["speedup"] > 0
         # The portable acceptance signal: parallel == serial, bit for bit.
         assert sweep["bit_identical"] is True
+        slo = payload["slo_overhead"]
+        assert slo["engine_events_per_sec"] > 0
+        assert slo["engine_overhead_fraction"] < 0.05
+        assert slo["disabled_overhead_fraction"] < 0.02
 
         target = tmp_path / "BENCH_002.json"
         assert write_bench(payload, str(target)) == str(target)
@@ -73,6 +77,44 @@ class TestBenchCli:
         assert json.loads(target.read_text())["benchmark"] == BENCH_NAME
         out = capsys.readouterr().out
         assert "bit-identical=True" in out
+
+
+class TestSloOverhead:
+    def test_section_reports_all_four_modes_and_fractions(self):
+        from repro.bench import bench_slo_overhead
+
+        section = bench_slo_overhead(events=5_000, repeats=1)
+        assert section["events"] == 5_000
+        assert section["plain_events_per_sec"] > 0
+        assert section["engine_events_per_sec"] > 0
+        assert section["disabled_events_per_sec"] > 0
+        assert section["disabled_tapped_events_per_sec"] > 0
+        assert section["engine_overhead_fraction"] >= 0.0
+        assert section["disabled_overhead_fraction"] >= 0.0
+
+    def test_self_guard_enforces_the_overhead_budgets(self):
+        from repro.bench import guard_regression
+
+        kernel = {"kernel": {"instrumented_events_per_sec": 1000.0}}
+        over = {
+            **kernel,
+            "slo_overhead": {
+                "engine_overhead_fraction": 0.08,
+                "disabled_overhead_fraction": 0.03,
+            },
+        }
+        failures = guard_regression(over, kernel)
+        assert any("engine_overhead_fraction" in f for f in failures)
+        assert any("disabled_overhead_fraction" in f for f in failures)
+
+        under = {
+            **kernel,
+            "slo_overhead": {
+                "engine_overhead_fraction": 0.02,
+                "disabled_overhead_fraction": 0.0,
+            },
+        }
+        assert guard_regression(under, kernel) == []
 
 
 class TestCancelChurn:

@@ -166,6 +166,17 @@ class TestMetrics:
         assert main(["metrics", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_prom_text_exposition(self, capsys, tiny_experiment):
+        assert main(["metrics", "tiny", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE tcp_connections_opened counter" in out
+        assert "tcp_connections_opened 2" in out
+        assert out.endswith("\n")
+
+    def test_json_and_prom_are_exclusive(self, capsys, tiny_experiment):
+        assert main(["metrics", "tiny", "--json", "--prom"]) == 2
+        assert "not both" in capsys.readouterr().err
+
     def test_accepts_harness_module_names(self):
         assert _normalize_experiment_id("fig10_cmax_sweep") == "fig10"
         assert _normalize_experiment_id("fig10") == "fig10"
@@ -197,6 +208,21 @@ class TestFlowsVerb:
         lines = target.read_text().splitlines()
         assert len(lines) == 2
         assert json.loads(lines[0])["flow_id"] == 0
+
+    def test_time_window_filters_records(self, capsys, tiny_experiment):
+        # The client flow opens at t=0, the server side ~one half-RTT
+        # later; an --until between the two keeps only the first.  Both
+        # stay open to the end of the run, so --since never drops them.
+        assert main(["flows", "tiny", "--json", "--until", "0.01"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["recorded"] == 2
+        assert payload["selected"] == 1
+        assert [f["flow_id"] for f in payload["flows"]] == [0]
+
+    def test_time_window_noted_in_summary(self, capsys, tiny_experiment):
+        assert main(["flows", "tiny", "--since", "0", "--until", "999"]) == 0
+        out = capsys.readouterr().out
+        assert "window [0.0, 999.0]s: 2 flows" in out
 
     def test_unknown_experiment_errors(self, capsys):
         assert main(["flows", "fig99"]) == 2
@@ -238,9 +264,71 @@ class TestReportVerb:
         assert "traceEvents" in chrome
         assert timeline_path.read_text().startswith("time,source,series,value")
 
+    def test_time_window_recorded_in_report(self, capsys, tiny_experiment):
+        assert main(["report", "tiny", "--json", "--until", "999"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["window"] == {"since": None, "until": 999.0}
+        assert payload["alerts"]["fired"] == 0
+
     def test_unknown_experiment_errors(self, capsys):
         assert main(["report", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestAlertsVerb:
+    def test_markdown_report_by_default(self, capsys, tiny_experiment):
+        assert main(["alerts", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# SLO alert report")
+        assert "_No alerts._" in out
+
+    def test_json_and_out_agree(self, capsys, tiny_experiment, tmp_path):
+        target = tmp_path / "alerts.json"
+        assert main(["alerts", "tiny", "--json", "--out", str(target)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "tiny"
+        assert payload["counts"]["fired"] == 0
+        assert {row["slo"] for row in payload["slos"]} == {
+            "probe_latency_p90",
+            "retransmit_ratio",
+            "guard_withdrawal_rate",
+            "route_staleness",
+        }
+        assert json.loads(target.read_text()) == payload
+
+    def test_markdown_artifact_written(self, capsys, tiny_experiment, tmp_path):
+        target = tmp_path / "alerts.md"
+        assert main(["alerts", "tiny", "--markdown", str(target)]) == 0
+        assert "# SLO alert report" in target.read_text()
+
+    def test_check_requires_a_fault_scenario(self, capsys, tiny_experiment):
+        assert main(["alerts", "tiny", "--check"]) == 2
+        assert "fault scenario" in capsys.readouterr().err
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["alerts", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestWatchVerb:
+    def test_renders_one_line_per_frame(self, capsys, tiny_experiment):
+        assert main(["watch", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "== watch: tiny (1 frames) ==" in out
+        assert "alerts: 0p/0f" in out
+
+    def test_json_frames(self, capsys, tiny_experiment):
+        assert main(["watch", "tiny", "--json", "--interval", "0.1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "tiny"
+        assert payload["frames"]
+        assert payload["frames"][0]["index"] == 0
+
+    def test_rejects_bad_interval_and_speed(self, capsys, tiny_experiment):
+        assert main(["watch", "tiny", "--interval", "0"]) == 2
+        assert "--interval" in capsys.readouterr().err
+        assert main(["watch", "tiny", "--speed", "-1"]) == 2
+        assert "--speed" in capsys.readouterr().err
 
 
 class TestFaultsVerb:
