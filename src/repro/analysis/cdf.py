@@ -7,6 +7,7 @@ representation the experiment harnesses share.
 from __future__ import annotations
 
 import bisect
+import math
 from collections.abc import Iterable, Sequence
 
 
@@ -36,7 +37,9 @@ class EmpiricalCdf:
 
     @property
     def mean(self) -> float:
-        return sum(self._values) / len(self._values)
+        # fsum: the mean must not depend on how the samples were grouped
+        # before they reached this CDF (serial vs merged collection).
+        return math.fsum(self._values) / len(self._values)
 
     @property
     def median(self) -> float:
@@ -59,7 +62,11 @@ class EmpiricalCdf:
         frac = position - low
         if low + 1 >= len(self._values):
             return self._values[-1]
-        return self._values[low] * (1.0 - frac) + self._values[low + 1] * frac
+        lo, hi = self._values[low], self._values[low + 1]
+        # Clamp: in the subnormal range the convex combination can round
+        # outside [lo, hi] (e.g. 0.5 * 5e-324 == 0.0), which would put a
+        # quantile below the minimum sample.
+        return min(max(lo * (1.0 - frac) + hi * frac, lo), hi)
 
     def percentiles(self, levels: Iterable[float]) -> list[float]:
         """Quantiles at several levels given in percent (e.g. 5, 50, 95)."""

@@ -22,7 +22,10 @@ from __future__ import annotations
 import ast
 import hashlib
 from dataclasses import dataclass, field
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:
+    from repro.analysis.lint.index import ModuleIndex, ProjectIndex
 
 
 @dataclass(frozen=True)
@@ -57,6 +60,10 @@ class FileContext:
     module: str | None
     tree: ast.Module
     source_lines: list[str] = field(default_factory=list)
+    #: The whole-program index (pass 2), when the engine built one.
+    index: ProjectIndex | None = None
+    #: This file's own pass-1 summary, when the engine built the index.
+    module_index: ModuleIndex | None = None
 
     def finding(
         self, code: str, node: ast.AST, message: str
@@ -78,6 +85,10 @@ class ProjectContext:
     root: str | None
     #: Repo-relative paths of every file scanned in this run.
     scanned: list[str] = field(default_factory=list)
+    #: The whole-program index (covers the index scope, a superset of
+    #: ``scanned`` — project rules must still filter findings to
+    #: ``scanned`` paths).
+    index: ProjectIndex | None = None
 
     def scanned_module(self, suffix: str) -> bool:
         """True when a scanned file path ends with ``suffix``.

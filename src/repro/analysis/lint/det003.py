@@ -13,6 +13,7 @@ fields: sequence numbers, names, addresses (the event queue's
 from __future__ import annotations
 
 import ast
+from collections.abc import Callable
 
 from repro.analysis.lint.base import FileContext, Finding, Rule
 
@@ -20,7 +21,9 @@ _ORDERING_CALLS = frozenset({"sorted", "min", "max"})
 _ORDER_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
 
 
-def _contains(node: ast.AST, predicate) -> ast.AST | None:
+def _contains(
+    node: ast.AST, predicate: Callable[[ast.AST], bool]
+) -> ast.AST | None:
     for child in ast.walk(node):
         if predicate(child):
             return child

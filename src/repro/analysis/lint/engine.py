@@ -34,18 +34,35 @@ from repro.analysis.lint.base import (
 from repro.analysis.lint.det001 import Det001WallClockEntropy
 from repro.analysis.lint.det002 import Det002UnorderedIteration
 from repro.analysis.lint.det003 import Det003IdentityOrdering
+from repro.analysis.lint.det004 import Det004InterproceduralTaint
+from repro.analysis.lint.flt001 import Flt001FloatIdentity
+from repro.analysis.lint.frk import (
+    Frk001UnpicklableAcrossFork,
+    Frk002MergeContract,
+)
+from repro.analysis.lint.index import (
+    INDEX_SCHEMA_VERSION,
+    ModuleIndex,
+    ProjectIndex,
+    content_hash,
+    index_module,
+)
 from repro.analysis.lint.obs001 import Obs001TaxonomyDrift
 from repro.analysis.lint.sim001 import Sim001KernelInvariants
 from repro.analysis.lint.slot001 import Slot001UndeclaredSlot
 
 #: JSON schema version of ``--json`` output and baseline files.
-LINT_SCHEMA_VERSION = 1
+LINT_SCHEMA_VERSION = 2
 
 #: Every shipped rule, in code order.
 ALL_RULES: tuple[type[Rule], ...] = (
     Det001WallClockEntropy,
     Det002UnorderedIteration,
     Det003IdentityOrdering,
+    Det004InterproceduralTaint,
+    Frk001UnpicklableAcrossFork,
+    Frk002MergeContract,
+    Flt001FloatIdentity,
     Sim001KernelInvariants,
     Slot001UndeclaredSlot,
     Obs001TaxonomyDrift,
@@ -71,6 +88,15 @@ class LintResult:
     suppressed_inline: int = 0
     suppressed_baseline: int = 0
     stale_baseline: list[dict[str, str]] = field(default_factory=list)
+    #: Modules summarized for the whole-program index (pass 1 scope).
+    indexed_modules: int = 0
+    #: Of those, how many were served from the incremental cache.
+    cached_modules: int = 0
+    #: Baseline accounting (zeroes when no ``--baseline`` was given).
+    baseline_used: bool = False
+    baseline_entries: int = 0
+    baseline_counts: dict[str, int] = field(default_factory=dict)
+    baseline_near_stale: int = 0
 
     @property
     def clean(self) -> bool:
@@ -87,6 +113,16 @@ class LintResult:
             "version": LINT_SCHEMA_VERSION,
             "files_scanned": self.files_scanned,
             "counts": self.counts(),
+            "index": {
+                "modules": self.indexed_modules,
+                "cached": self.cached_modules,
+            },
+            "baseline": {
+                "used": self.baseline_used,
+                "entries": self.baseline_entries,
+                "matched_by_code": dict(sorted(self.baseline_counts.items())),
+                "near_stale": self.baseline_near_stale,
+            },
             "suppressed": {
                 "inline": self.suppressed_inline,
                 "baseline": self.suppressed_baseline,
@@ -122,9 +158,55 @@ class LintResult:
         )
         suppressed = self.suppressed_inline + self.suppressed_baseline
         tail = f" ({suppressed} suppressed)" if suppressed else ""
+        if self.baseline_used:
+            lines.append(self.baseline_summary())
         lines.append(
             f"{len(self.findings)} finding(s) in {self.files_scanned} "
             f"file(s): {summary}{tail}"
+        )
+        return "\n".join(lines)
+
+    def baseline_summary(self) -> str:
+        """One line of baseline hygiene for CI logs.
+
+        An entry is *nearing staleness* when it matched exactly one
+        finding — the next fix to that site strands it, so the count is
+        an early warning that the baseline is about to need pruning.
+        """
+        matched = (
+            ", ".join(
+                f"{code}={n}"
+                for code, n in sorted(self.baseline_counts.items())
+            )
+            or "none"
+        )
+        return (
+            f"baseline: {self.baseline_entries} entr"
+            f"{'y' if self.baseline_entries == 1 else 'ies'}, "
+            f"matched by code: {matched}, "
+            f"{self.baseline_near_stale} nearing staleness, "
+            f"{len(self.stale_baseline)} stale"
+        )
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotations, one per finding."""
+        lines = [
+            f"::error file={f.path},line={f.line},col={max(f.col, 1)},"
+            f"title={f.code}::{f.message}"
+            for f in self.findings
+        ]
+        for entry in self.stale_baseline:
+            lines.append(
+                "::error title=stale-baseline::baseline entry "
+                f"{entry['fingerprint']} ({entry.get('reason', 'no reason')}) "
+                "matches nothing; remove it"
+            )
+        if self.baseline_used:
+            lines.append(f"::notice title=lint-baseline::{self.baseline_summary()}")
+        lines.append(
+            f"::notice title=repro-lint::{len(self.findings)} finding(s) in "
+            f"{self.files_scanned} file(s); index {self.indexed_modules} "
+            f"module(s), {self.cached_modules} cached"
         )
         return "\n".join(lines)
 
@@ -211,43 +293,167 @@ def _inline_suppressed(line_text: str, code: str) -> bool:
     return code in {c.strip() for c in codes.split(",")}
 
 
+def _load_index_cache(cache_path: str) -> dict[str, dict[str, object]]:
+    """``abspath -> {"hash", "index"}`` entries, or empty on any damage."""
+    try:
+        with open(cache_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return {}
+    if not isinstance(payload, dict):
+        return {}
+    if payload.get("version") != INDEX_SCHEMA_VERSION:
+        return {}
+    entries = payload.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def _write_index_cache(cache_path: str, modules: dict[str, ModuleIndex]) -> None:
+    payload = {
+        "version": INDEX_SCHEMA_VERSION,
+        "entries": {
+            abspath: {
+                "hash": mod.content_hash,
+                "index": mod.to_payload(),
+            }
+            for abspath, mod in sorted(modules.items())
+        },
+    }
+    try:
+        with open(cache_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"), sort_keys=True)
+            handle.write("\n")
+    except OSError:
+        pass  # a read-only checkout never fails the lint run
+
+
+def _index_scope(files: list[str], root: str | None) -> list[str]:
+    """Pass-1 file set: the whole ``src`` tree plus the linted files.
+
+    Linting a single file must still see the whole program — DET004's
+    call chains and FRK's crossing closure span modules the user did not
+    name on the command line.
+    """
+    scope = list(files)
+    if root is not None:
+        src = os.path.join(root, "src")
+        if os.path.isdir(src):
+            scope = scope + collect_files([src])
+    # The lint set may spell a path relative while the src sweep spells
+    # it absolute; dedupe on the real path, keeping the lint set's
+    # spelling (it came first) so display paths match the invocation.
+    unique: dict[str, str] = {}
+    for path in scope:
+        unique.setdefault(os.path.abspath(path), path)
+    return sorted(unique.values())
+
+
+def _build_index(
+    files: list[str], root: str | None, cache_path: str | None
+) -> tuple[ProjectIndex, dict[str, tuple[str, ast.Module]], int, int]:
+    """Pass 1: summarize every module in scope, reusing cached summaries.
+
+    Returns ``(index, parsed, indexed, cached)`` where ``parsed`` maps
+    the lint-phase files' paths to their already-parsed trees so pass 2
+    never parses a file twice.
+    """
+    cache = _load_index_cache(cache_path) if cache_path else {}
+    lint_set = set(files)
+    parsed: dict[str, tuple[str, ast.Module]] = {}
+    modules: dict[str, ModuleIndex] = {}
+    cached = 0
+    for file_path in _index_scope(files, root):
+        abspath = os.path.abspath(file_path)
+        try:
+            with open(file_path, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError:
+            continue
+        display = _display_path(file_path)
+        entry = cache.get(abspath)
+        file_hash = content_hash(source)
+        mod: ModuleIndex | None = None
+        needs_tree = file_path in lint_set
+        if (
+            entry is not None
+            and entry.get("hash") == file_hash
+            and isinstance(entry.get("index"), dict)
+        ):
+            try:
+                mod = ModuleIndex.from_payload(entry["index"])  # type: ignore[arg-type]
+            except (KeyError, TypeError, ValueError):
+                mod = None
+            if mod is not None:
+                # Display paths depend on the invocation cwd; pin them
+                # to this run's view of the tree.
+                mod.path = display
+                mod.module = module_name_for(file_path)
+                cached += 1
+        if mod is None or needs_tree:
+            try:
+                tree = ast.parse(source, filename=file_path)
+            except SyntaxError:
+                continue  # the lint phase reports the PARSE finding
+            if needs_tree:
+                parsed[file_path] = (source, tree)
+            if mod is None:
+                mod = index_module(file_path, display, source, tree)
+        modules[abspath] = mod
+    if cache_path is not None:
+        _write_index_cache(cache_path, modules)
+    return ProjectIndex(list(modules.values())), parsed, len(modules), cached
+
+
 def run_lint(
     paths: list[str],
     *,
     select: list[str] | None = None,
     ignore: list[str] | None = None,
     baseline_path: str | None = None,
+    cache_path: str | None = None,
 ) -> LintResult:
-    """Lint ``paths`` and return the (already suppressed) result."""
+    """Lint ``paths`` and return the (already suppressed) result.
+
+    ``cache_path`` enables the incremental pass-1 cache; the default of
+    None keeps programmatic runs (and the test suite) hermetic.
+    """
     files = collect_files(paths)
     rules: list[Rule] = [rule_cls() for rule_cls in select_rules(select, ignore)]
     root = find_project_root(files[0]) if files else None
-    project = ProjectContext(root=root)
+    index, parsed, indexed_modules, cached_modules = _build_index(
+        files, root, cache_path
+    )
+    project = ProjectContext(root=root, index=index)
 
     findings: list[Finding] = []
     sources: dict[str, list[str]] = {}
     for file_path in files:
         display = _display_path(file_path)
-        with open(file_path, encoding="utf-8") as handle:
-            source = handle.read()
-        try:
-            tree = ast.parse(source, filename=file_path)
-        except SyntaxError as error:
-            findings.append(
-                Finding(
-                    code="PARSE",
-                    message=f"cannot parse file: {error.msg}",
-                    path=display,
-                    line=error.lineno or 1,
-                    col=(error.offset or 1) - 1,
+        if file_path in parsed:
+            source, tree = parsed[file_path]
+        else:
+            with open(file_path, encoding="utf-8") as handle:
+                source = handle.read()
+            try:
+                tree = ast.parse(source, filename=file_path)
+            except SyntaxError as error:
+                findings.append(
+                    Finding(
+                        code="PARSE",
+                        message=f"cannot parse file: {error.msg}",
+                        path=display,
+                        line=error.lineno or 1,
+                        col=(error.offset or 1) - 1,
+                    )
                 )
-            )
-            continue
+                continue
         ctx = FileContext(
             path=display,
             module=module_name_for(file_path),
             tree=tree,
             source_lines=source.splitlines(),
+            index=index,
+            module_index=index.module_for(display),
         )
         sources[display] = ctx.source_lines
         project.scanned.append(display)
@@ -260,9 +466,16 @@ def run_lint(
 
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code, f.message))
 
-    result = LintResult(findings=[], files_scanned=len(files))
+    result = LintResult(
+        findings=[],
+        files_scanned=len(files),
+        indexed_modules=indexed_modules,
+        cached_modules=cached_modules,
+    )
     baseline = load_baseline(baseline_path) if baseline_path else {}
-    matched_fingerprints: set[str] = set()
+    result.baseline_used = baseline_path is not None
+    result.baseline_entries = len(baseline)
+    match_counts: dict[str, int] = {}
     for finding in findings:
         lines = sources.get(finding.path)
         if lines and 1 <= finding.line <= len(lines):
@@ -270,14 +483,22 @@ def run_lint(
                 result.suppressed_inline += 1
                 continue
         if finding.fingerprint in baseline:
-            matched_fingerprints.add(finding.fingerprint)
+            match_counts[finding.fingerprint] = (
+                match_counts.get(finding.fingerprint, 0) + 1
+            )
             result.suppressed_baseline += 1
+            result.baseline_counts[finding.code] = (
+                result.baseline_counts.get(finding.code, 0) + 1
+            )
             continue
         result.findings.append(finding)
+    result.baseline_near_stale = sum(
+        1 for count in match_counts.values() if count == 1
+    )
     result.stale_baseline = [
         {"fingerprint": fingerprint, "reason": reason}
         for fingerprint, reason in sorted(baseline.items())
-        if fingerprint not in matched_fingerprints
+        if fingerprint not in match_counts
     ]
     return result
 

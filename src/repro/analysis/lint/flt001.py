@@ -1,0 +1,225 @@
+"""FLT001 — float accumulation that breaks last-ulp byte identity.
+
+``sum()`` and ``+=`` over floats are order- and grouping-sensitive in
+the last ulp: a merged store that adds per-worker subtotals produces a
+different 64-bit pattern than the serial run that added every sample in
+one pass, even though both are "correct".  The tsdb/export contract
+(:mod:`repro.obs.tsdb`, :mod:`repro.analysis.export`) therefore requires
+``math.fsum`` — the correctly-rounded true sum, which is independent of
+both order and grouping — on every derivation path that feeds a
+byte-compared artifact.
+
+The rule is scoped to those derivation packages (``repro.obs``,
+``repro.analysis``) rather than exempting a blocklist, and uses the
+project index's per-class attribute evidence to decide floatness:
+
+* ``sum(xs)`` fires when ``xs`` is float-evidenced — an attribute
+  annotated ``list[float]``, an attribute assigned from float-producing
+  expressions, or a comprehension whose element is a float expression.
+  ``sum(1 for ...)`` and integer counters never fire.
+* ``acc += x`` fires for a running float accumulator: a local
+  initialized to a float literal and incremented in a loop, or a
+  float-annotated ``self`` attribute incremented in a method.
+
+Unknown types stay silent (optimistic) — mypy owns type errors; this
+rule owns the determinism contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.base import FileContext, Finding, Rule
+from repro.analysis.lint.index import ClassSummary, ModuleIndex, _value_kind
+
+#: Annotations that evidence a float sequence / float scalar.
+_FLOAT_SEQ_MARKERS = ("list[float]", "tuple[float", "Sequence[float]", "set[float]")
+
+
+class Flt001FloatIdentity(Rule):
+    code = "FLT001"
+    summary = (
+        "bare sum()/+= float accumulation on a derivation path; the "
+        "byte-identity contract requires math.fsum"
+    )
+    #: Inclusion scope: only the derivation packages (and fixtures).
+    _included = ("repro.obs", "repro.analysis")
+    exempt_modules = ("repro.analysis.lint",)
+
+    def applies_to(self, module: str | None) -> bool:
+        if module is None:
+            return True
+        if not super().applies_to(module):
+            return False
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self._included
+        )
+
+    def visit_file(self, ctx: FileContext) -> list[Finding]:
+        visitor = _Visitor(ctx)
+        visitor.visit(ctx.tree)
+        return visitor.findings
+
+
+def _attr_is_float_seq(cls: ClassSummary | None, attr: str) -> bool:
+    if cls is None:
+        return False
+    annotation = cls.attr_type(attr)
+    if annotation is not None:
+        return any(marker in annotation for marker in _FLOAT_SEQ_MARKERS)
+    return cls.attr_kind(attr) == "float_seq"
+
+
+def _attr_is_float(cls: ClassSummary | None, attr: str) -> bool:
+    if cls is None:
+        return False
+    annotation = cls.attr_type(attr)
+    if annotation is not None:
+        return annotation == "float"
+    return cls.attr_kind(attr) == "float"
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self._class_stack: list[str] = []
+        #: local name -> inferred kind, per function scope.
+        self._scopes: list[dict[str, str]] = [{}]
+        self._loop_depth = 0
+
+    def _module_class(self, name: str) -> ClassSummary | None:
+        mod: ModuleIndex | None = self.ctx.module_index
+        if mod is None:
+            return None
+        return mod.classes.get(name)
+
+    def _current_class(self) -> ClassSummary | None:
+        if not self._class_stack:
+            return None
+        return self._module_class(self._class_stack[-1])
+
+    # -- scope / class tracking -------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self._scopes.append({})
+        depth, self._loop_depth = self._loop_depth, 0
+        self.generic_visit(node)
+        self._loop_depth = depth
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_For(self, node: ast.For) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_While = visit_For  # type: ignore[assignment]
+
+    # -- evidence tracking -------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        kind = _value_kind(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if kind is not None:
+                    self._scopes[-1][target.id] = kind
+                else:
+                    self._scopes[-1].pop(target.id, None)
+        self.generic_visit(node)
+
+    # -- the rule ----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "sum"
+            and len(node.args) >= 1
+            and not node.keywords
+            and self._is_float_sequence(node.args[0])
+        ):
+            self.findings.append(
+                self.ctx.finding(
+                    "FLT001",
+                    node,
+                    "bare sum() over floats is order/grouping-sensitive in "
+                    "the last ulp; use math.fsum for byte-identical "
+                    "derivations",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, ast.Add) and self._is_float_accumulator(node):
+            self.findings.append(
+                self.ctx.finding(
+                    "FLT001",
+                    node,
+                    "running float += accumulation is grouping-sensitive in "
+                    "the last ulp; collect samples and math.fsum on read",
+                )
+            )
+        self.generic_visit(node)
+
+    # -- float evidence ----------------------------------------------------
+
+    def _is_float_sequence(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return self._scopes[-1].get(node.id) == "float_seq"
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == "self":
+                return _attr_is_float_seq(self._current_class(), node.attr)
+            return False
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return self._is_float_element(node.elt)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in ("list", "sorted")
+                and node.args
+            ):
+                return self._is_float_sequence(node.args[0])
+            if isinstance(func, ast.Attribute) and func.attr == "values":
+                # ``sum(histogram.values())`` — unresolvable receiver type;
+                # stay optimistic.
+                return False
+        kind = _value_kind(node)
+        return kind == "float_seq"
+
+    def _is_float_element(self, node: ast.expr) -> bool:
+        if _value_kind(node) == "float":
+            return True
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == "self":
+                return _attr_is_float(self._current_class(), node.attr)
+        if isinstance(node, ast.Name):
+            return self._scopes[-1].get(node.id) == "float"
+        return False
+
+    def _is_float_accumulator(self, node: ast.AugAssign) -> bool:
+        target = node.target
+        if isinstance(target, ast.Name):
+            return (
+                self._loop_depth > 0
+                and self._scopes[-1].get(target.id) == "float"
+            )
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            if _value_kind(node.value) == "int":
+                return False
+            return _attr_is_float(self._current_class(), target.attr)
+        return False

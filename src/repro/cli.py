@@ -183,7 +183,20 @@ def _build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--json",
         action="store_true",
-        help="emit findings as JSON instead of text",
+        help="emit findings as JSON (alias for --format json)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        dest="lint_format",
+        choices=("text", "json", "github"),
+        default=None,
+        help="output format: text (default), json, or github workflow "
+        "annotations",
+    )
+    lint_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk module index cache",
     )
     lint_parser.add_argument(
         "--baseline",
@@ -689,6 +702,8 @@ def _cmd_tournament(
 def _cmd_lint(
     paths: list[str],
     as_json: bool,
+    output_format: str | None,
+    no_cache: bool,
     baseline: str | None,
     select: str | None,
     ignore: str | None,
@@ -711,19 +726,28 @@ def _cmd_lint(
     def split(value: str | None) -> list[str] | None:
         if not value:
             return None
-        return [code.strip() for code in value.split(",") if code.strip()]
+        return [code.strip().upper() for code in value.split(",") if code.strip()]
 
+    if output_format is None:
+        output_format = "json" if as_json else "text"
+    cache_path = None if no_cache else os.path.join(os.getcwd(), ".repro-lint-cache.json")
     try:
         result = run_lint(
             paths,
             select=split(select),
             ignore=split(ignore),
             baseline_path=baseline,
+            cache_path=cache_path,
         )
     except LintUsageError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print(result.to_json() if as_json else result.render_text())
+    if output_format == "json":
+        print(result.to_json())
+    elif output_format == "github":
+        print(result.render_github())
+    else:
+        print(result.render_text())
     return 0 if result.clean else 1
 
 
@@ -1149,6 +1173,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint(
             args.paths,
             args.json,
+            args.lint_format,
+            args.no_cache,
             args.baseline,
             args.select,
             args.ignore,

@@ -16,6 +16,7 @@ simulation's performance profile.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Mapping
 
@@ -86,14 +87,12 @@ class Histogram:
     labels: LabelSet = ()
     _samples: list[float] = field(default_factory=list)
     _timed: list[tuple[float, float]] = field(default_factory=list)
-    _sum: float = 0.0
     _dirty: bool = False
 
     def observe(self, value: float, t: float | None = None) -> None:
         value = float(value)
         self._samples.append(value)
         self._dirty = True
-        self._sum += value
         if t is not None:
             self._timed.append((t, value))
 
@@ -110,13 +109,20 @@ class Histogram:
 
     @property
     def sum(self) -> float:
-        return self._sum
+        """The correctly-rounded true sum of all samples.
+
+        ``math.fsum`` is independent of observation *and* merge order,
+        so a merged histogram's sum (and mean) is bit-identical to the
+        serial run's — a running ``+=`` subtotal would differ in the
+        last ulp depending on how samples were grouped across workers.
+        """
+        return math.fsum(self._samples)
 
     @property
     def mean(self) -> float:
         if not self._samples:
             raise ValueError(f"histogram {self.name!r} has no samples")
-        return self._sum / len(self._samples)
+        return self.sum / len(self._samples)
 
     @property
     def min(self) -> float:
@@ -209,9 +215,10 @@ class MetricsRegistry:
         runs under one shared instrumentation would have built: counters
         add; gauges adopt the other registry's last-written value and the
         combined high-water mark; histograms merge their sorted samples
-        and append timed samples in order.  (Histogram sums add as run
-        subtotals, so a merged ``mean`` can differ from a serial one in
-        the last float ulp; counts, values and percentiles are exact.)
+        and append timed samples in order.  (Histogram ``sum``/``mean``
+        are ``math.fsum`` over the samples — independent of both order
+        and worker grouping — so every derived statistic is exact, not
+        just counts, values and percentiles.)
         """
         for key, counter in other._counters.items():
             mine = self._counters.get(key)
@@ -236,7 +243,6 @@ class MetricsRegistry:
                 mine = self._histograms[key] = Histogram(histogram.name, key[1])
             mine._samples.extend(histogram._samples)
             mine._dirty = bool(mine._samples)
-            mine._sum += histogram._sum
             mine._timed.extend(histogram._timed)
 
     # -- readout ---------------------------------------------------------

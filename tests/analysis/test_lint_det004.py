@@ -1,0 +1,156 @@
+"""DET004 — interprocedural nondeterminism taint.
+
+The regression these tests pin: a helper that returns ``list(set(...))``
+or a wall-clock deadline looks harmless at every call site, so the
+per-file DET rules stay silent — only the whole-program pass sees the
+taint cross the module boundary into an order-sensitive sink.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import run_lint
+
+HELPERS = """
+    import time
+
+
+    def poll_targets(hosts):
+        return list(set(hosts))
+
+
+    def deadline():
+        return time.time() + 5.0
+
+
+    def safe_targets(hosts):
+        return sorted(set(hosts))
+    """
+
+CALLER = """
+    from helpers import deadline, poll_targets, safe_targets
+
+
+    def run(sim, hosts):
+        for host in poll_targets(hosts):
+            sim.schedule(0.0, host)
+
+
+    def run_at(sim, task):
+        sim.schedule_at(deadline(), task)
+
+
+    def run_safe(sim, hosts):
+        for host in safe_targets(hosts):
+            sim.schedule(0.0, host)
+    """
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "helpers.py").write_text(textwrap.dedent(HELPERS))
+    (tmp_path / "caller.py").write_text(textwrap.dedent(CALLER))
+    return tmp_path
+
+
+def test_det004_catches_cross_module_taint(tree):
+    result = run_lint([str(tree)], select=["DET004"])
+    rendered = [f.render() for f in result.findings]
+    assert len(result.findings) == 2, rendered
+    order, value = sorted(result.findings, key=lambda f: f.line)
+    assert "caller.py" in order.path
+    assert "hash order" in order.message
+    assert "poll_targets" in order.message
+    assert "time.time()" in value.message
+    assert "deadline" in value.message
+
+
+def test_per_file_rules_miss_what_det004_catches(tree):
+    """The seed analyzer's blind spot: DET001/002/003 see nothing here."""
+    result = run_lint([str(tree)], select=["DET002"])
+    assert result.findings == []
+    result = run_lint([str(tree)], ignore=["DET004"])
+    assert all(f.code != "DET004" for f in result.findings)
+    # helpers.py itself carries per-file findings or not — but the call
+    # sites in caller.py are invisible without the index.
+    assert not any("caller.py" in f.path for f in result.findings)
+
+
+def test_sorted_neutralizes_the_chain(tree):
+    result = run_lint([str(tree)], select=["DET004"])
+    # run_safe's loop (safe_targets returns sorted(...)) must stay silent.
+    assert all(f.line < 15 for f in result.findings), [
+        f.render() for f in result.findings
+    ]
+
+
+def test_det004_leaves_direct_taint_to_per_file_rules(tmp_path):
+    """Same-function taint is DET001/002's beat; DET004 must not double-report."""
+    source = """
+        def run(sim, hosts):
+            for host in set(hosts):
+                sim.schedule(0.0, host)
+        """
+    (tmp_path / "direct.py").write_text(textwrap.dedent(source))
+    result = run_lint([str(tmp_path)], select=["DET004"])
+    assert result.findings == []
+
+
+def test_det004_taint_through_intermediate_module(tmp_path):
+    """Two hops: source module -> wrapper module -> sink module."""
+    (tmp_path / "clock.py").write_text(
+        textwrap.dedent(
+            """
+            import time
+
+
+            def now():
+                return time.time()
+            """
+        )
+    )
+    (tmp_path / "wrapper.py").write_text(
+        textwrap.dedent(
+            """
+            from clock import now
+
+
+            def stamp():
+                return now()
+            """
+        )
+    )
+    (tmp_path / "sink.py").write_text(
+        textwrap.dedent(
+            """
+            from wrapper import stamp
+
+
+            def go(sim, task):
+                sim.schedule_at(stamp(), task)
+            """
+        )
+    )
+    result = run_lint([str(tmp_path)], select=["DET004"])
+    (finding,) = result.findings
+    assert "sink.py" in finding.path
+    assert "time.time()" in finding.message
+
+
+def test_det004_suppressible_inline(tree):
+    caller = tree / "caller.py"
+    lines = caller.read_text().splitlines()
+    # Findings anchor at the tainted loop header and at the sink call.
+    patched = [
+        line + "  # lint: ignore[DET004]"
+        if "in poll_targets" in line or "sim.schedule_at" in line
+        else line
+        for line in lines
+    ]
+    caller.write_text("\n".join(patched) + "\n")
+    result = run_lint([str(tree)], select=["DET004"])
+    assert result.findings == []
+    assert result.suppressed_inline == 2

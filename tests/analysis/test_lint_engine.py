@@ -13,6 +13,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.lint import (
+    INDEX_SCHEMA_VERSION,
     LINT_SCHEMA_VERSION,
     RULE_CODES,
     LintUsageError,
@@ -23,6 +24,12 @@ from repro.cli import main
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 HAZARD = "import time\n\ndef tick():\n    return time.time()\n"
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path_factory, monkeypatch):
+    """The CLI writes its index cache to the cwd; keep it out of the repo."""
+    monkeypatch.chdir(tmp_path_factory.mktemp("lint-cwd"))
 
 
 @pytest.fixture
@@ -81,6 +88,13 @@ def test_json_schema(hazard_file):
     assert payload["version"] == LINT_SCHEMA_VERSION
     assert payload["files_scanned"] == 1
     assert payload["counts"] == {"DET001": 1}
+    assert payload["index"] == {"modules": 1, "cached": 0}
+    assert payload["baseline"] == {
+        "used": False,
+        "entries": 0,
+        "matched_by_code": {},
+        "near_stale": 0,
+    }
     assert payload["suppressed"] == {"inline": 0, "baseline": 0}
     assert payload["stale_baseline"] == []
     (finding,) = payload["findings"]
@@ -88,6 +102,54 @@ def test_json_schema(hazard_file):
     assert finding["code"] == "DET001"
     assert finding["line"] == 4
     assert isinstance(finding["fingerprint"], str) and finding["fingerprint"]
+
+
+def test_render_github(hazard_file):
+    out = run_lint([str(hazard_file)]).render_github()
+    error, notice = out.splitlines()
+    assert error.startswith("::error file=")
+    assert "title=DET001" in error and ",line=4," in error
+    assert notice.startswith("::notice title=repro-lint::")
+    assert "index 1 module(s), 0 cached" in notice
+
+
+# -- index cache ----------------------------------------------------------
+
+
+def test_index_cache_round_trip(tmp_path, hazard_file):
+    cache = tmp_path / "cache.json"
+    first = run_lint([str(hazard_file)], cache_path=str(cache))
+    assert (first.indexed_modules, first.cached_modules) == (1, 0)
+    second = run_lint([str(hazard_file)], cache_path=str(cache))
+    assert second.cached_modules == 1
+    assert [f.render() for f in first.findings] == [
+        f.render() for f in second.findings
+    ]
+
+
+def test_cache_invalidated_on_edit(tmp_path, hazard_file):
+    cache = tmp_path / "cache.json"
+    run_lint([str(hazard_file)], cache_path=str(cache))
+    hazard_file.write_text(HAZARD + "x = 1\n")
+    assert run_lint([str(hazard_file)], cache_path=str(cache)).cached_modules == 0
+
+
+def test_corrupt_cache_is_discarded_and_rewritten(tmp_path, hazard_file):
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json")
+    result = run_lint([str(hazard_file)], cache_path=str(cache))
+    assert result.cached_modules == 0
+    assert result.counts() == {"DET001": 1}
+    assert json.loads(cache.read_text())["version"] == INDEX_SCHEMA_VERSION
+
+
+def test_wrong_cache_version_is_discarded(tmp_path, hazard_file):
+    cache = tmp_path / "cache.json"
+    run_lint([str(hazard_file)], cache_path=str(cache))
+    payload = json.loads(cache.read_text())
+    payload["version"] = INDEX_SCHEMA_VERSION + 1
+    cache.write_text(json.dumps(payload))
+    assert run_lint([str(hazard_file)], cache_path=str(cache)).cached_modules == 0
 
 
 # -- baseline -------------------------------------------------------------
@@ -109,6 +171,56 @@ def test_baseline_suppresses_matching_findings(tmp_path, hazard_file):
     assert result.suppressed_baseline == 1
     assert result.stale_baseline == []
     assert result.clean
+
+
+def test_baseline_summary_line(tmp_path, hazard_file):
+    fingerprint = run_lint([str(hazard_file)]).findings[0].fingerprint
+    baseline = write_baseline(
+        tmp_path, [{"fingerprint": fingerprint, "reason": "tracked debt"}]
+    )
+    result = run_lint([str(hazard_file)], baseline_path=str(baseline))
+    assert result.baseline_used
+    assert result.baseline_entries == 1
+    assert result.baseline_counts == {"DET001": 1}
+    # Matched exactly once: the next fix strands this entry.
+    assert result.baseline_near_stale == 1
+    summary = result.baseline_summary()
+    assert summary == (
+        "baseline: 1 entry, matched by code: DET001=1, "
+        "1 nearing staleness, 0 stale"
+    )
+    assert summary in result.render_text()
+    payload = json.loads(result.to_json())
+    assert payload["baseline"] == {
+        "used": True,
+        "entries": 1,
+        "matched_by_code": {"DET001": 1},
+        "near_stale": 1,
+    }
+
+
+def test_baseline_entry_matched_twice_is_not_near_stale(tmp_path):
+    target = tmp_path / "two.py"
+    target.write_text("import time\n\ndef a():\n    return time.time()\n")
+    findings = run_lint([str(target)]).findings
+    assert len(findings) == 1
+    # Duplicate the hazard so one fingerprint matches two findings.
+    target.write_text(
+        "import time\n\ndef a():\n    return time.time()\n"
+        "\ndef b():\n    return time.time()\n"
+    )
+    findings = run_lint([str(target)]).findings
+    fingerprints = {f.fingerprint for f in findings}
+    baseline = write_baseline(
+        tmp_path,
+        [{"fingerprint": fp, "reason": "debt"} for fp in fingerprints],
+    )
+    result = run_lint([str(target)], baseline_path=str(baseline))
+    assert result.findings == []
+    if len(fingerprints) == 1:
+        assert result.baseline_near_stale == 0
+    else:
+        assert result.baseline_near_stale == len(fingerprints)
 
 
 def test_stale_baseline_entry_fails_the_run(tmp_path, hazard_file):
@@ -190,6 +302,39 @@ def test_cli_select_and_ignore(hazard_file, capsys):
     assert main(["lint", str(hazard_file), "--ignore", "DET001"]) == 0
     assert main(["lint", str(hazard_file), "--select", "DET001,SIM001"]) == 1
     capsys.readouterr()
+
+
+def test_cli_unknown_code_lists_known_codes(hazard_file, capsys):
+    assert main(["lint", str(hazard_file), "--select", "NOPE001"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule code" in err
+    for code in RULE_CODES:
+        assert code in err
+
+
+def test_cli_codes_are_case_insensitive(hazard_file, capsys):
+    assert main(["lint", str(hazard_file), "--select", "det001"]) == 1
+    assert main(["lint", str(hazard_file), "--ignore", "det001"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_format_github(hazard_file, capsys):
+    assert main(["lint", str(hazard_file), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")
+    assert "::notice title=repro-lint::" in out
+
+
+def test_cli_cache_default_and_no_cache(hazard_file, capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    main(["lint", str(hazard_file), "--no-cache"])
+    assert not (tmp_path / ".repro-lint-cache.json").exists()
+    main(["lint", str(hazard_file)])
+    assert (tmp_path / ".repro-lint-cache.json").exists()
+    capsys.readouterr()
+    assert main(["lint", str(hazard_file), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["index"]["cached"] == 1
 
 
 # -- self-check -----------------------------------------------------------
